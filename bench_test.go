@@ -1,0 +1,219 @@
+// Package nabbitc's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper (driving the deterministic machine simulator
+// at small scale), plus wall-clock benches of the real engine on the host.
+//
+// Regenerate full-scale experiment output with:
+//
+//	go run ./cmd/nabbitbench -experiment all | tee experiments.txt
+package nabbitc
+
+import (
+	"io"
+	"testing"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/pagerank"
+	"nabbitc/internal/bench/stencil"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/bench/sw"
+	"nabbitc/internal/core"
+	"nabbitc/internal/harness"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/omp"
+	"nabbitc/internal/sim"
+	"nabbitc/internal/simomp"
+)
+
+func harnessCfg() harness.Config {
+	return harness.Config{
+		Scale:      bench.ScaleSmall,
+		Cores:      []int{1, 20, 80},
+		Benchmarks: []string{"heat", "page-uk-2002", "sw"},
+		Out:        io.Discard,
+	}
+}
+
+// BenchmarkTable1 regenerates the benchmark-configuration table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("table1", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates a speedup-vs-cores sweep.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("fig6", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the remote-access percentages.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("fig7", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the successful-steal comparison.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("fig8", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the first-steal idle-time series.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("fig9", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the bad-coloring ablation.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("table2", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the invalid-coloring ablation.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("table3", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSim measures one simulated run of the named benchmark.
+func benchSim(b *testing.B, name string, p int, pol core.Policy) {
+	bm, err := suite.Build(name, bench.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, sink := bm.Model(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(spec, sink, sim.Options{Workers: p, Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimHeatNabbit80(b *testing.B)   { benchSim(b, "heat", 80, core.NabbitPolicy()) }
+func BenchmarkSimHeatNabbitC80(b *testing.B)  { benchSim(b, "heat", 80, core.NabbitCPolicy()) }
+func BenchmarkSimPageUKNabbitC80(b *testing.B) {
+	benchSim(b, "page-uk-2002", 80, core.NabbitCPolicy())
+}
+
+// BenchmarkSimOMP measures the simulated OpenMP loop baseline.
+func BenchmarkSimOMPStaticHeat80(b *testing.B) {
+	bm, err := suite.Build("heat", bench.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweeps := bm.Sweeps(80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simomp.Run(80, numa.Paper(80), numa.DefaultCostModel(), omp.Static, sweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Wall-clock benches of the real engine on host cores.
+
+func BenchmarkRealHeatSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stencil.Heat(bench.ScaleSmall).NewReal().RunSerial()
+	}
+}
+
+func BenchmarkRealHeatNabbit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := stencil.Heat(bench.ScaleSmall).NewReal()
+		spec, sink := r.Spec(8)
+		if _, err := core.Run(spec, sink, core.Options{Workers: 8, Policy: core.NabbitPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealHeatNabbitC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := stencil.Heat(bench.ScaleSmall).NewReal()
+		spec, sink := r.Spec(8)
+		if _, err := core.Run(spec, sink, core.Options{Workers: 8, Policy: core.NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealHeatOpenMPStatic(b *testing.B) {
+	team := omp.NewTeam(8)
+	defer team.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stencil.Heat(bench.ScaleSmall).NewReal().RunOpenMP(team, omp.Static)
+	}
+}
+
+func BenchmarkRealSWNabbitC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sw.N3(bench.ScaleSmall).NewReal()
+		spec, sink := r.Spec(8)
+		if _, err := core.Run(spec, sink, core.Options{Workers: 8, Policy: core.NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealPageRankNabbitC(b *testing.B) {
+	pr := pagerank.UK2002(bench.ScaleSmall)
+	pr.Graph() // generate once outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pr.NewReal()
+		spec, sink := r.Spec(8)
+		if _, err := core.Run(spec, sink, core.Options{Workers: 8, Policy: core.NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOverhead measures raw per-task scheduling cost: a wide,
+// trivial graph of empty tasks.
+func BenchmarkEngineOverheadPerTask(b *testing.B) {
+	const tasks = 10000
+	spec := core.FuncSpec{
+		PredsFn: func(k core.Key) []core.Key {
+			if k != tasks {
+				return nil
+			}
+			ps := make([]core.Key, tasks)
+			for i := range ps {
+				ps[i] = core.Key(i)
+			}
+			return ps
+		},
+		ColorFn: func(k core.Key) int { return int(k) % 8 },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(spec, tasks, core.Options{Workers: 8, Policy: core.NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/tasks, "ns/task")
+}

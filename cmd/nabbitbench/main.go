@@ -1,0 +1,62 @@
+// Command nabbitbench regenerates the paper's experiments on the
+// simulated NUMA machine.
+//
+// Usage:
+//
+//	nabbitbench -experiment fig6                 # one experiment
+//	nabbitbench -experiment all                  # everything
+//	nabbitbench -experiment fig7 -bench heat,cg  # restrict benchmarks
+//	nabbitbench -experiment fig6 -cores 1,20,80 -csv
+//	nabbitbench -experiment table2 -scale small  # quick run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		fmt.Sprintf("experiment to run: %s, or all", strings.Join(harness.Experiments(), ", ")))
+	benches := flag.String("bench", "",
+		fmt.Sprintf("comma-separated benchmarks (default all: %s)", strings.Join(suite.Names(), ",")))
+	cores := flag.String("cores", "", "comma-separated core counts (default 1,2,4,10,20,40,60,80)")
+	scale := flag.String("scale", "default", "benchmark scale: default or small")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := harness.Config{Out: os.Stdout, CSV: *csv}
+	switch *scale {
+	case "default":
+		cfg.Scale = bench.ScaleDefault
+	case "small":
+		cfg.Scale = bench.ScaleSmall
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *cores != "" {
+		for _, c := range strings.Split(*cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad core count %q\n", c)
+				os.Exit(2)
+			}
+			cfg.Cores = append(cfg.Cores, n)
+		}
+	}
+	if err := harness.Run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,55 @@
+// Command taskviz emits a Graphviz DOT rendering of a benchmark's task
+// graph (small scale), with tasks colored by their NabbitC color — handy
+// for inspecting the dependence structures the scheduler sees.
+//
+//	taskviz -bench heat -p 4 | dot -Tsvg > heat.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
+)
+
+// palette cycles for worker colors.
+var palette = []string{
+	"lightblue", "lightpink", "lightgreen", "khaki",
+	"plum", "lightsalmon", "paleturquoise", "lightgray",
+}
+
+func main() {
+	name := flag.String("bench", "heat", "benchmark to render (small scale)")
+	p := flag.Int("p", 4, "worker count for the coloring")
+	maxNodes := flag.Int("max", 2000, "abort if the graph exceeds this many nodes")
+	flag.Parse()
+
+	b, err := suite.Build(*name, bench.ScaleSmall)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, sink := b.Model(*p)
+	order, err := core.TopoOrder(spec, sink, *maxNodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("digraph %q {\n  rankdir=BT;\n  node [style=filled];\n", *name)
+	for _, k := range order {
+		c := spec.Color(k)
+		fill := "white"
+		if c >= 0 {
+			fill = palette[c%len(palette)]
+		}
+		fmt.Printf("  n%d [label=%q fillcolor=%s];\n", k, fmt.Sprintf("%d (c%d)", k, c), fill)
+		for _, pk := range spec.Predecessors(k) {
+			fmt.Printf("  n%d -> n%d;\n", pk, k)
+		}
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,84 @@
+// Stencil example: the regular heat-diffusion benchmark compared across
+// all schedulers, plus a demonstration of what a *bad* coloring costs on
+// the simulated 80-core NUMA machine (Table II's ablation). Run with:
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/stencil"
+	"nabbitc/internal/core"
+	"nabbitc/internal/omp"
+	"nabbitc/internal/sim"
+)
+
+func main() {
+	const workers = 8
+	mk := func() *stencil.Stencil { return stencil.Heat(bench.ScaleSmall) }
+
+	info := mk().Info()
+	fmt.Printf("%s: %s, %d iterations, %d tasks\n",
+		info.Name, info.ProblemSize, info.Iterations, info.Nodes)
+
+	// Real execution, all formulations, verified by checksum.
+	serial := mk().NewReal()
+	t0 := time.Now()
+	serial.RunSerial()
+	fmt.Printf("serial:  %8v\n", time.Since(t0))
+
+	for _, pol := range []struct {
+		name string
+		p    core.Policy
+	}{{"nabbit", core.NabbitPolicy()}, {"nabbitc", core.NabbitCPolicy()}} {
+		r := mk().NewReal()
+		spec, sink := r.Spec(workers)
+		t0 = time.Now()
+		if _, err := core.Run(spec, sink, core.Options{Workers: workers, Policy: pol.p}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %8v", pol.name+":", time.Since(t0))
+		if r.Checksum() != serial.Checksum() {
+			panic(pol.name + " result differs from serial")
+		}
+		fmt.Println("  (matches serial)")
+	}
+
+	r := mk().NewReal()
+	team := omp.NewTeam(workers)
+	t0 = time.Now()
+	r.RunOpenMP(team, omp.Static)
+	team.Close()
+	fmt.Printf("omp:     %8v", time.Since(t0))
+	if r.Checksum() != serial.Checksum() {
+		panic("OpenMP result differs from serial")
+	}
+	fmt.Println("  (matches serial)")
+
+	// Simulated 80-core machine: what coloring quality is worth.
+	fmt.Println("\nsimulated 80-core / 8-NUMA-domain machine:")
+	heat := stencil.Heat(bench.ScaleDefault)
+	spec, sink := heat.Model(80)
+	good, err := sim.Run(spec, sink, sim.Options{Workers: 80, Policy: core.NabbitCPolicy()})
+	check(err)
+	bad, err := sim.Run(bench.BadColoring(spec, 80), sink,
+		sim.Options{Workers: 80, Policy: core.NabbitCPolicy()})
+	check(err)
+	plain, err := sim.Run(spec, sink, sim.Options{Workers: 80, Policy: core.NabbitPolicy()})
+	check(err)
+	fmt.Printf("  NabbitC good coloring: makespan %d, %4.1f%% remote\n",
+		good.Makespan, good.RemotePercent())
+	fmt.Printf("  NabbitC bad coloring:  makespan %d, %4.1f%% remote\n",
+		bad.Makespan, bad.RemotePercent())
+	fmt.Printf("  Nabbit (no colors):    makespan %d, %4.1f%% remote\n",
+		plain.Makespan, plain.RemotePercent())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Wavefront example: blocked Smith–Waterman alignment as a task graph.
+//
+// Compares the dynamic task-graph execution (which exposes the whole
+// wavefront DAG) against the OpenMP formulation that barriers at every
+// anti-diagonal, and verifies both produce the serial score matrix. Run
+// with:
+//
+//	go run ./examples/wavefront
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/sw"
+	"nabbitc/internal/core"
+	"nabbitc/internal/omp"
+)
+
+func main() {
+	const workers = 8
+	mk := func() *sw.SW { return sw.N3(bench.ScaleSmall) }
+
+	info := mk().Info()
+	fmt.Printf("%s: %s (%d blocks)\n", info.Name, info.ProblemSize, info.Nodes)
+
+	serial := mk().NewReal()
+	t0 := time.Now()
+	serial.RunSerial()
+	fmt.Printf("serial:        %8v  score=%d\n", time.Since(t0), serial.MaxScore())
+
+	par := mk().NewReal()
+	spec, sink := par.Spec(workers)
+	t0 = time.Now()
+	st, err := core.Run(spec, sink, core.Options{Workers: workers, Policy: core.NabbitCPolicy()})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nabbitc:       %8v  score=%d (%d tasks on %d workers)\n",
+		time.Since(t0), par.MaxScore(), st.TotalNodes(), len(st.Workers))
+	if par.Checksum() != serial.Checksum() {
+		panic("task-graph result differs from serial")
+	}
+
+	om := mk().NewReal()
+	team := omp.NewTeam(workers)
+	t0 = time.Now()
+	om.RunOpenMP(team, omp.Static)
+	team.Close()
+	fmt.Printf("omp wavefront: %8v  score=%d\n", time.Since(t0), om.MaxScore())
+	if om.Checksum() != serial.Checksum() {
+		panic("OpenMP result differs from serial")
+	}
+
+	fmt.Println("all formulations agree; the task graph needs no per-diagonal barriers")
+}

@@ -1,0 +1,256 @@
+// Package nas implements the paper's two NAS-style benchmarks as task
+// graphs: cg (conjugate gradient) and mg (multigrid).
+//
+// cg is a blocked conjugate-gradient step on a banded SPD system: each CG
+// iteration is five phases — blocked SpMV, a reduction tree for p·q,
+// blocked x/r updates with a second reduction tree for r·r, and a blocked
+// p update. With the paper's configuration the whole graph is only ~300
+// nodes ("when there are very few nodes in the task graph, NabbitC's
+// benefit over original Nabbit becomes negligible because processor cores
+// have few nodes to work with").
+//
+// mg is a V-cycle multigrid solver on a 1D Poisson problem: per level,
+// pre-smooth, restrict, prolong, and post-smooth block tasks, recursing to
+// a single-block coarsest solve (~16384 nodes at the paper's scale).
+package nas
+
+import (
+	"fmt"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/core"
+	"nabbitc/internal/simomp"
+)
+
+// CGConfig describes a conjugate-gradient instance.
+type CGConfig struct {
+	// Blocks is the row-block count B; each phase contributes B tasks
+	// and each reduction tree B-1.
+	Blocks int
+	// CellsPerBlock is the rows per block.
+	CellsPerBlock int
+	// Iterations is the number of CG steps (Table I: 1).
+	Iterations int
+}
+
+// CG is one instance.
+type CG struct {
+	cfg CGConfig
+}
+
+// NewCG returns an instance with the given configuration.
+func NewCG(cfg CGConfig) *CG {
+	if cfg.Blocks&(cfg.Blocks-1) != 0 {
+		panic(fmt.Sprintf("nas: cg Blocks=%d must be a power of two (reduction tree)", cfg.Blocks))
+	}
+	return &CG{cfg: cfg}
+}
+
+// CGBench returns the Table I cg benchmark (paper: NA=900000, 300 nodes,
+// 1 iteration). 64 blocks gives 5*64-2 = 318 nodes.
+func CGBench(s bench.Scale) *CG {
+	cfg := CGConfig{Iterations: 1}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.Blocks, cfg.CellsPerBlock = 16, 64
+	default:
+		cfg.Blocks, cfg.CellsPerBlock = 64, 8192
+	}
+	return NewCG(cfg)
+}
+
+// Config returns the instance configuration.
+func (c *CG) Config() CGConfig { return c.cfg }
+
+// Info implements bench.Benchmark.
+func (c *CG) Info() bench.Info {
+	b := c.cfg.Blocks
+	return bench.Info{
+		Name:        "cg",
+		Description: "NAS conjugate gradient",
+		ProblemSize: fmt.Sprintf("NA=%d blocks=%d", b*c.cfg.CellsPerBlock, b),
+		Iterations:  c.cfg.Iterations,
+		Nodes:       c.cfg.Iterations * (5*b - 2),
+	}
+}
+
+// Phases within a CG step. Reduction trees are binary heaps: internal
+// node i in [1, B) has children 2i and 2i+1, where child values >= B
+// denote leaves (block c-B of the feeding phase).
+const (
+	cgSpmv    = 0 // q_b = (A p)_b; emits pq partial
+	cgDot1    = 1 // reduction tree over pq partials -> alpha
+	cgUpd     = 2 // x_b += a p_b; r_b -= a q_b; emits rr partial
+	cgDot2    = 3 // reduction tree over rr partials -> beta
+	cgPupd    = 4 // p_b = r_b + beta p_b
+	cgPhases  = 5
+)
+
+func (c *CG) key(it, phase, idx int) core.Key {
+	return core.Key(((it*cgPhases)+phase)*c.cfg.Blocks + idx)
+}
+
+func (c *CG) decode(k core.Key) (it, phase, idx int) {
+	b := c.cfg.Blocks
+	idx = int(k) % b
+	rest := int(k) / b
+	return rest / cgPhases, rest % cgPhases, idx
+}
+
+// sink is the last p-update reduction... the graph needs a single sink:
+// an artificial gather over the final iteration's p updates.
+func (c *CG) sink() core.Key {
+	return c.key(c.cfg.Iterations, 0, 0)
+}
+
+// leftmostLeafBlock returns the block owning reduction-tree node i's
+// leftmost leaf (its color anchor).
+func (c *CG) leftmostLeafBlock(i int) int {
+	b := c.cfg.Blocks
+	for i < b {
+		i *= 2
+	}
+	return i - b
+}
+
+func (c *CG) preds(k core.Key) []core.Key {
+	b := c.cfg.Blocks
+	if k == c.sink() {
+		ps := make([]core.Key, b)
+		for i := 0; i < b; i++ {
+			ps[i] = c.key(c.cfg.Iterations-1, cgPupd, i)
+		}
+		return ps
+	}
+	it, phase, idx := c.decode(k)
+	switch phase {
+	case cgSpmv:
+		// Reads p blocks idx-1..idx+1, written by the previous
+		// iteration's p update.
+		if it == 0 {
+			return nil
+		}
+		ps := make([]core.Key, 0, 3)
+		for d := -1; d <= 1; d++ {
+			if nb := idx + d; nb >= 0 && nb < b {
+				ps = append(ps, c.key(it-1, cgPupd, nb))
+			}
+		}
+		return ps
+	case cgDot1, cgDot2:
+		if idx == 0 {
+			return nil // slot 0 unused in heap indexing
+		}
+		feeder := cgSpmv
+		if phase == cgDot2 {
+			feeder = cgUpd
+		}
+		ps := make([]core.Key, 0, 2)
+		for _, ch := range []int{2 * idx, 2*idx + 1} {
+			if ch >= b {
+				ps = append(ps, c.key(it, feeder, ch-b))
+			} else {
+				ps = append(ps, c.key(it, phase, ch))
+			}
+		}
+		return ps
+	case cgUpd:
+		// Needs alpha (dot1 root) and its own q block.
+		return []core.Key{c.key(it, cgDot1, 1), c.key(it, cgSpmv, idx)}
+	case cgPupd:
+		// Needs beta (dot2 root) and its own updated r block.
+		return []core.Key{c.key(it, cgDot2, 1), c.key(it, cgUpd, idx)}
+	default:
+		panic("nas: bad cg phase")
+	}
+}
+
+func (c *CG) colorOf(k core.Key, p int) int {
+	if k == c.sink() {
+		return 0
+	}
+	_, phase, idx := c.decode(k)
+	b := c.cfg.Blocks
+	switch phase {
+	case cgDot1, cgDot2:
+		if idx == 0 {
+			return 0
+		}
+		return c.leftmostLeafBlock(idx) * p / b
+	default:
+		return idx * p / b
+	}
+}
+
+func (c *CG) footprint(k core.Key) core.Footprint {
+	if k == c.sink() {
+		return core.Footprint{Compute: 1}
+	}
+	cells := int64(c.cfg.CellsPerBlock)
+	_, phase, idx := c.decode(k)
+	switch phase {
+	case cgSpmv:
+		return core.Footprint{Compute: cells * 5, OwnBytes: cells * 24, PredBytes: 16}
+	case cgDot1, cgDot2:
+		if idx == 0 {
+			return core.Footprint{Compute: 1}
+		}
+		return core.Footprint{Compute: 8, OwnBytes: 16, PredBytes: 8}
+	case cgUpd:
+		return core.Footprint{Compute: cells * 4, OwnBytes: cells * 32, PredBytes: 8}
+	case cgPupd:
+		return core.Footprint{Compute: cells * 2, OwnBytes: cells * 16, PredBytes: 8}
+	default:
+		panic("nas: bad cg phase")
+	}
+}
+
+// Model implements bench.Benchmark. Heap slot 0 of the two dot phases is
+// never referenced by any path from the sink, so exactly Info().Nodes + 1
+// nodes materialize.
+func (c *CG) Model(p int) (core.CostSpec, core.Key) {
+	return core.FuncSpec{
+		PredsFn:     c.preds,
+		ColorFn:     func(k core.Key) int { return c.colorOf(k, p) },
+		FootprintFn: c.footprint,
+	}, c.sink()
+}
+
+// Sweeps implements bench.Benchmark: the OpenMP formulation runs each
+// phase as a barriered parallel-for over blocks (dot reductions are a
+// cheap log-depth sweep folded into one short sweep).
+func (c *CG) Sweeps(p int) []simomp.Sweep {
+	b := c.cfg.Blocks
+	blockSweep := func(phase int) simomp.Sweep {
+		return simomp.Sweep{N: b, IterFn: func(i int) simomp.Iter {
+			k := c.key(0, phase, i)
+			var neighbors []int
+			if phase == cgSpmv {
+				for d := -1; d <= 1; d += 2 {
+					if nb := i + d; nb >= 0 && nb < b {
+						neighbors = append(neighbors, nb*p/b)
+					}
+				}
+			}
+			return simomp.Iter{
+				Home:          i * p / b,
+				Fp:            c.footprint(k),
+				NeighborHomes: neighbors,
+			}
+		}}
+	}
+	reduceSweep := func() simomp.Sweep {
+		return simomp.Sweep{N: b, IterFn: func(i int) simomp.Iter {
+			return simomp.Iter{Home: i * p / b, Fp: core.Footprint{Compute: 8, OwnBytes: 16}}
+		}}
+	}
+	var sweeps []simomp.Sweep
+	for it := 0; it < c.cfg.Iterations; it++ {
+		sweeps = append(sweeps,
+			blockSweep(cgSpmv), reduceSweep(),
+			blockSweep(cgUpd), reduceSweep(),
+			blockSweep(cgPupd),
+		)
+	}
+	return sweeps
+}

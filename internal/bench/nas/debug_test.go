@@ -1,0 +1,70 @@
+package nas
+
+import "testing"
+
+// referenceCG is a textbook CG for the same system, used to pinpoint where
+// the task formulation diverges.
+func referenceCG(n, iters int, rhs []float64) (alphas, betas, rrs []float64) {
+	x := make([]float64, n)
+	r := append([]float64(nil), rhs...)
+	p := append([]float64(nil), rhs...)
+	q := make([]float64, n)
+	rr := 0.0
+	for _, v := range r {
+		rr += v * v
+	}
+	rrs = append(rrs, rr)
+	for it := 0; it < iters; it++ {
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			q[i] = applyA(p, i)
+			pq += p[i] * q[i]
+		}
+		a := rr / pq
+		alphas = append(alphas, a)
+		rrNew := 0.0
+		for i := 0; i < n; i++ {
+			x[i] += a * p[i]
+			r[i] -= a * q[i]
+			rrNew += r[i] * r[i]
+		}
+		b := rrNew / rr
+		betas = append(betas, b)
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + b*p[i]
+		}
+		rr = rrNew
+		rrs = append(rrs, rr)
+	}
+	return
+}
+
+func TestCGAgainstReference(t *testing.T) {
+	cg := NewCG(CGConfig{Blocks: 16, CellsPerBlock: 64, Iterations: 5})
+	rc := cg.NewReal()
+	refA, refB, refRR := referenceCG(rc.n, 5, rc.rhs)
+	rc.RunSerial()
+	for it := 0; it < 5; it++ {
+		if !close(rc.alphas[it], refA[it]) || !close(rc.betas[it], refB[it]) ||
+			!close(rc.rrs[it+1], refRR[it+1]) {
+			t.Fatalf("iter %d: got a=%v b=%v rr=%v, want a=%v b=%v rr=%v",
+				it, rc.alphas[it], rc.betas[it], rc.rrs[it+1],
+				refA[it], refB[it], refRR[it+1])
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d/scale < 1e-9
+}

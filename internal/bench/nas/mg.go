@@ -1,0 +1,245 @@
+package nas
+
+import (
+	"fmt"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/core"
+	"nabbitc/internal/simomp"
+)
+
+// MGConfig describes a multigrid instance.
+type MGConfig struct {
+	// FineBlocks is the block count at the finest level (a power of
+	// two); level l has FineBlocks>>l blocks down to 1.
+	FineBlocks int
+	// CellsPerBlock is the cells per block, constant across levels
+	// (cells and blocks both halve).
+	CellsPerBlock int
+	// Cycles is the number of V-cycles.
+	Cycles int
+	// SolveSweeps is the Jacobi sweep count of the coarsest-level solve.
+	SolveSweeps int
+}
+
+// MG is one instance: a V-cycle correction-scheme multigrid for the 1D
+// Poisson problem, with damped-Jacobi smoothing, summed residual
+// restriction, and piecewise-constant prolongation.
+type MG struct {
+	cfg    MGConfig
+	levels int // finest (0) .. coarsest (levels-1, one block)
+}
+
+// NewMG returns an instance with the given configuration.
+func NewMG(cfg MGConfig) *MG {
+	if cfg.FineBlocks&(cfg.FineBlocks-1) != 0 || cfg.FineBlocks < 2 {
+		panic(fmt.Sprintf("nas: mg FineBlocks=%d must be a power of two >= 2", cfg.FineBlocks))
+	}
+	levels := 1
+	for b := cfg.FineBlocks; b > 1; b >>= 1 {
+		levels++
+	}
+	return &MG{cfg: cfg, levels: levels}
+}
+
+// MGBench returns the Table I mg benchmark (paper: 2048³ grid, 16384 task
+// nodes). 1024 fine blocks × 2 cycles gives ~14400 nodes.
+func MGBench(s bench.Scale) *MG {
+	cfg := MGConfig{Cycles: 2, SolveSweeps: 32}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.FineBlocks, cfg.CellsPerBlock = 32, 64
+	default:
+		cfg.FineBlocks, cfg.CellsPerBlock = 1024, 512
+	}
+	return NewMG(cfg)
+}
+
+// Config returns the instance configuration.
+func (m *MG) Config() MGConfig { return m.cfg }
+
+// Levels returns the grid-hierarchy depth.
+func (m *MG) Levels() int { return m.levels }
+
+// blocksAt returns the block count of level l.
+func (m *MG) blocksAt(l int) int { return m.cfg.FineBlocks >> l }
+
+// Phases of a V-cycle at each level. The coarsest level runs only mgPre,
+// which acts as the direct solve.
+const (
+	mgPre      = 0 // pre-smooth (or coarsest solve)
+	mgRestrict = 1 // restrict this level's residual to the next level
+	mgProlong  = 2 // add the coarse correction
+	mgPost     = 3 // post-smooth
+	mgNPhases  = 4
+)
+
+// nodesPerCycle counts real tasks in one V-cycle.
+func (m *MG) nodesPerCycle() int {
+	n := 0
+	for l := 0; l < m.levels; l++ {
+		b := m.blocksAt(l)
+		n += b // pre
+		if l > 0 {
+			n += b // restrict into this level
+		}
+		if l < m.levels-1 {
+			n += 2 * b // prolong + post
+		}
+	}
+	return n
+}
+
+// Info implements bench.Benchmark.
+func (m *MG) Info() bench.Info {
+	return bench.Info{
+		Name:        "mg",
+		Description: "NAS multigrid",
+		ProblemSize: fmt.Sprintf("n=%d blocks=%d levels=%d",
+			m.cfg.FineBlocks*m.cfg.CellsPerBlock, m.cfg.FineBlocks, m.levels),
+		Iterations: m.cfg.Cycles,
+		Nodes:      m.cfg.Cycles * m.nodesPerCycle(),
+	}
+}
+
+func (m *MG) key(c, l, phase, b int) core.Key {
+	return core.Key((((c*m.levels)+l)*mgNPhases+phase)*m.cfg.FineBlocks + b)
+}
+
+func (m *MG) decode(k core.Key) (c, l, phase, b int) {
+	fb := m.cfg.FineBlocks
+	b = int(k) % fb
+	rest := int(k) / fb
+	phase = rest % mgNPhases
+	rest /= mgNPhases
+	return rest / m.levels, rest % m.levels, phase, b
+}
+
+func (m *MG) sink() core.Key {
+	return m.key(m.cfg.Cycles, 0, 0, 0)
+}
+
+// clampRange appends keys for blocks [lo, hi] clamped to level l.
+func (m *MG) appendClamped(ps []core.Key, c, l, phase, lo, hi int) []core.Key {
+	nb := m.blocksAt(l)
+	for b := lo; b <= hi; b++ {
+		if b >= 0 && b < nb {
+			ps = append(ps, m.key(c, l, phase, b))
+		}
+	}
+	return ps
+}
+
+func (m *MG) preds(k core.Key) []core.Key {
+	if k == m.sink() {
+		var ps []core.Key
+		return m.appendClamped(ps, m.cfg.Cycles-1, 0, mgPost, 0, m.blocksAt(0)-1)
+	}
+	c, l, phase, b := m.decode(k)
+	coarsest := m.levels - 1
+	var ps []core.Key
+	switch phase {
+	case mgPre:
+		if l == 0 {
+			if c == 0 {
+				return nil // reads the initial guess
+			}
+			return m.appendClamped(ps, c-1, 0, mgPost, b-1, b+1)
+		}
+		// Smooths the error equation from zero; needs this level's
+		// restricted rhs (own block and halo).
+		return m.appendClamped(ps, c, l, mgRestrict, b-1, b+1)
+	case mgRestrict:
+		// Restricts level l-1's residual: reads the pre-smoothed fine
+		// solution with halo.
+		return m.appendClamped(ps, c, l-1, mgPre, 2*b-1, 2*b+2)
+	case mgProlong:
+		// Own pre-smoothed block plus the coarse level's final state.
+		ps = append(ps, m.key(c, l, mgPre, b))
+		coarsePhase := mgPost
+		if l+1 == coarsest {
+			coarsePhase = mgPre // the coarsest level's solve
+		}
+		return m.appendClamped(ps, c, l+1, coarsePhase, b/2-1, b/2+1)
+	case mgPost:
+		return m.appendClamped(ps, c, l, mgProlong, b-1, b+1)
+	default:
+		panic("nas: bad mg phase")
+	}
+}
+
+// colorOf maps a block to the owner of its finest-level footprint.
+func (m *MG) colorOf(k core.Key, p int) int {
+	if k == m.sink() {
+		return 0
+	}
+	_, l, _, b := m.decode(k)
+	fineStart := b << l
+	return fineStart * p / m.cfg.FineBlocks
+}
+
+func (m *MG) footprint(k core.Key) core.Footprint {
+	if k == m.sink() {
+		return core.Footprint{Compute: 1}
+	}
+	_, l, phase, _ := m.decode(k)
+	cells := int64(m.cfg.CellsPerBlock)
+	switch phase {
+	case mgPre:
+		sweeps := int64(1)
+		if l == m.levels-1 {
+			sweeps = int64(m.cfg.SolveSweeps)
+		}
+		return core.Footprint{Compute: cells * 4 * sweeps, OwnBytes: cells * 24, PredBytes: 16}
+	case mgRestrict:
+		return core.Footprint{Compute: cells * 3, OwnBytes: cells * 24, PredBytes: 16}
+	case mgProlong:
+		return core.Footprint{Compute: cells * 2, OwnBytes: cells * 20, PredBytes: 16}
+	case mgPost:
+		return core.Footprint{Compute: cells * 4, OwnBytes: cells * 24, PredBytes: 16}
+	default:
+		panic("nas: bad mg phase")
+	}
+}
+
+// Model implements bench.Benchmark.
+func (m *MG) Model(p int) (core.CostSpec, core.Key) {
+	return core.FuncSpec{
+		PredsFn:     m.preds,
+		ColorFn:     func(k core.Key) int { return m.colorOf(k, p) },
+		FootprintFn: m.footprint,
+	}, m.sink()
+}
+
+// Sweeps implements bench.Benchmark: the OpenMP formulation runs each
+// level phase as a barriered parallel-for. Coarse levels have fewer
+// blocks than workers — the classic multigrid parallelism squeeze.
+func (m *MG) Sweeps(p int) []simomp.Sweep {
+	levelSweep := func(l, phase int) simomp.Sweep {
+		nb := m.blocksAt(l)
+		return simomp.Sweep{N: nb, IterFn: func(b int) simomp.Iter {
+			k := m.key(0, l, phase, b)
+			home := (b << l) * p / m.cfg.FineBlocks
+			var neighbors []int
+			for d := -1; d <= 1; d += 2 {
+				if o := b + d; o >= 0 && o < nb {
+					neighbors = append(neighbors, (o<<l)*p/m.cfg.FineBlocks)
+				}
+			}
+			return simomp.Iter{Home: home, Fp: m.footprint(k), NeighborHomes: neighbors}
+		}}
+	}
+	var sweeps []simomp.Sweep
+	for c := 0; c < m.cfg.Cycles; c++ {
+		for l := 0; l < m.levels; l++ {
+			sweeps = append(sweeps, levelSweep(l, mgPre))
+			if l < m.levels-1 {
+				sweeps = append(sweeps, levelSweep(l+1, mgRestrict))
+			}
+		}
+		for l := m.levels - 2; l >= 0; l-- {
+			sweeps = append(sweeps, levelSweep(l, mgProlong), levelSweep(l, mgPost))
+		}
+	}
+	return sweeps
+}

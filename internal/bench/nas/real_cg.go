@@ -1,0 +1,202 @@
+package nas
+
+import (
+	"math"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/omp"
+)
+
+// RealCG is an executable conjugate-gradient instance solving A x = rhs
+// for the screened 1D Poisson operator A = tridiag(-1, 4, -1): SPD and
+// well-conditioned (condition number < 3), so a handful of CG iterations
+// converge — matching Table I's single-iteration cg configuration. (The
+// pure Laplacian's condition grows with n², which would make short runs
+// oscillate rather than converge.) Single-use.
+type RealCG struct {
+	cg         *CG
+	n          int
+	rhs        []float64
+	x, r, p, q []float64
+	// pq and rr are reduction-tree slot arrays (heap layout, leaves at
+	// [B, 2B)); alphas/betas/rrs are per-iteration scalars.
+	pq, rr []float64
+	alphas []float64
+	betas  []float64
+	rrs    []float64
+}
+
+// NewReal initializes x = 0, r = p = rhs, and the initial r·r.
+func (c *CG) NewReal() *RealCG {
+	n := c.cfg.Blocks * c.cfg.CellsPerBlock
+	rc := &RealCG{
+		cg:     c,
+		n:      n,
+		rhs:    make([]float64, n),
+		x:      make([]float64, n),
+		r:      make([]float64, n),
+		p:      make([]float64, n),
+		q:      make([]float64, n),
+		pq:     make([]float64, 2*c.cfg.Blocks),
+		rr:     make([]float64, 2*c.cfg.Blocks),
+		alphas: make([]float64, c.cfg.Iterations),
+		betas:  make([]float64, c.cfg.Iterations),
+		rrs:    make([]float64, c.cfg.Iterations+1),
+	}
+	for i := 0; i < n; i++ {
+		rc.rhs[i] = math.Sin(float64(i)*0.01) + 1.5
+	}
+	copy(rc.r, rc.rhs)
+	copy(rc.p, rc.rhs)
+	rr0 := 0.0
+	for _, v := range rc.r {
+		rr0 += v * v
+	}
+	rc.rrs[0] = rr0
+	return rc
+}
+
+// applyA computes (A v)[i] for the screened operator with Dirichlet ends.
+func applyA(v []float64, i int) float64 {
+	s := 4 * v[i]
+	if i > 0 {
+		s -= v[i-1]
+	}
+	if i < len(v)-1 {
+		s -= v[i+1]
+	}
+	return s
+}
+
+func (rc *RealCG) blockRange(b int) (lo, hi int) {
+	cells := rc.cg.cfg.CellsPerBlock
+	return b * cells, (b + 1) * cells
+}
+
+// compute executes one task.
+func (rc *RealCG) compute(k core.Key) {
+	if k == rc.cg.sink() {
+		return
+	}
+	it, phase, idx := rc.cg.decode(k)
+	B := rc.cg.cfg.Blocks
+	switch phase {
+	case cgSpmv:
+		lo, hi := rc.blockRange(idx)
+		partial := 0.0
+		for i := lo; i < hi; i++ {
+			rc.q[i] = applyA(rc.p, i)
+			partial += rc.p[i] * rc.q[i]
+		}
+		rc.pq[B+idx] = partial
+	case cgDot1:
+		rc.pq[idx] = rc.pq[2*idx] + rc.pq[2*idx+1]
+		if idx == 1 {
+			rc.alphas[it] = rc.rrs[it] / rc.pq[1]
+		}
+	case cgUpd:
+		a := rc.alphas[it]
+		lo, hi := rc.blockRange(idx)
+		partial := 0.0
+		for i := lo; i < hi; i++ {
+			rc.x[i] += a * rc.p[i]
+			rc.r[i] -= a * rc.q[i]
+			partial += rc.r[i] * rc.r[i]
+		}
+		rc.rr[B+idx] = partial
+	case cgDot2:
+		rc.rr[idx] = rc.rr[2*idx] + rc.rr[2*idx+1]
+		if idx == 1 {
+			rc.rrs[it+1] = rc.rr[1]
+			rc.betas[it] = rc.rrs[it+1] / rc.rrs[it]
+		}
+	case cgPupd:
+		beta := rc.betas[it]
+		lo, hi := rc.blockRange(idx)
+		for i := lo; i < hi; i++ {
+			rc.p[i] = rc.r[i] + beta*rc.p[i]
+		}
+	}
+}
+
+// Spec returns a task-graph spec performing the real CG step(s).
+func (rc *RealCG) Spec(p int) (core.CostSpec, core.Key) {
+	c := rc.cg
+	return core.FuncSpec{
+		PredsFn:     c.preds,
+		ColorFn:     func(k core.Key) int { return c.colorOf(k, p) },
+		ComputeFn:   rc.compute,
+		FootprintFn: c.footprint,
+	}, c.sink()
+}
+
+// RunSerial executes every task in dependence order.
+func (rc *RealCG) RunSerial() {
+	order, err := core.TopoOrder(core.FuncSpec{PredsFn: rc.cg.preds}, rc.cg.sink(), 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range order {
+		rc.compute(k)
+	}
+}
+
+// RunOpenMP executes each CG phase as a barriered parallel-for; the dot
+// reductions run on the team as a two-step tree.
+func (rc *RealCG) RunOpenMP(team *omp.Team, sched omp.Schedule) {
+	c := rc.cg.cfg
+	B := c.Blocks
+	for it := 0; it < c.Iterations; it++ {
+		team.For(B, sched, func(b, w int) { rc.compute(rc.cg.key(it, cgSpmv, b)) })
+		for _, lvl := range treeLevels(B) {
+			team.For(len(lvl), sched, func(i, w int) {
+				rc.compute(rc.cg.key(it, cgDot1, lvl[i]))
+			})
+		}
+		team.For(B, sched, func(b, w int) { rc.compute(rc.cg.key(it, cgUpd, b)) })
+		for _, lvl := range treeLevels(B) {
+			team.For(len(lvl), sched, func(i, w int) {
+				rc.compute(rc.cg.key(it, cgDot2, lvl[i]))
+			})
+		}
+		team.For(B, sched, func(b, w int) { rc.compute(rc.cg.key(it, cgPupd, b)) })
+	}
+}
+
+// treeLevels returns heap indices level by level from the leaves' parents
+// up to the root, so each level only reads the one below it.
+func treeLevels(b int) [][]int {
+	var levels [][]int
+	lo, hi := b/2, b // parents of leaves occupy [b/2, b)
+	for lo >= 1 {
+		lvl := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			lvl = append(lvl, i)
+		}
+		levels = append(levels, lvl)
+		lo, hi = lo/2, lo
+	}
+	return levels
+}
+
+// ResidualNorm returns ‖rhs − A x‖₂ of the current solution.
+func (rc *RealCG) ResidualNorm() float64 {
+	sum := 0.0
+	for i := 0; i < rc.n; i++ {
+		d := rc.rhs[i] - applyA(rc.x, i)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// RRHistory returns the r·r values per iteration (index 0 = initial).
+func (rc *RealCG) RRHistory() []float64 { return rc.rrs }
+
+// Checksum returns a position-weighted hash of x.
+func (rc *RealCG) Checksum() float64 {
+	sum := 0.0
+	for i, v := range rc.x {
+		sum += v * float64(i%89+1)
+	}
+	return sum
+}

@@ -1,0 +1,204 @@
+// Package stencil implements the paper's three regular iterated-stencil
+// benchmarks: heat (heat-diffusion stencil), fdtd (finite difference time
+// domain), and life (Conway's game of life).
+//
+// All three share the same task-graph shape — the grid is split into
+// contiguous blocks, and task (iter, block) depends on (iter-1, block-1),
+// (iter-1, block), and (iter-1, block+1) — differing in per-cell compute
+// weight and bytes touched. These are the benchmarks where OpenMP static
+// achieves perfect locality and load balance, Nabbit degrades with scale,
+// and NabbitC tracks OpenMP (paper Fig. 6, first row).
+package stencil
+
+import (
+	"fmt"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/core"
+	"nabbitc/internal/simomp"
+)
+
+// Config describes one stencil benchmark instance.
+type Config struct {
+	// Name is the Table I benchmark id.
+	Name string
+	// Description matches Table I.
+	Description string
+	// Blocks is the number of spatial blocks (tasks per iteration).
+	Blocks int
+	// CellsPerBlock is the cell count per block.
+	CellsPerBlock int
+	// Iterations is the sweep count.
+	Iterations int
+	// FlopsPerCell is compute units per cell per sweep.
+	FlopsPerCell int64
+	// BytesPerCell is the own-block bytes touched per cell per sweep.
+	BytesPerCell int64
+	// HaloBytes is the bytes read from each neighbor block per sweep.
+	HaloBytes int64
+}
+
+// Stencil is one benchmark instance.
+type Stencil struct {
+	cfg Config
+}
+
+// New returns a stencil benchmark with the given configuration.
+func New(cfg Config) *Stencil { return &Stencil{cfg: cfg} }
+
+// Heat returns the heat-diffusion benchmark at the given scale. The
+// paper's configuration is n=16384, m=655360, 5 iterations, 102400 task
+// nodes; the default scale keeps 5 iterations and the 3-point dependence
+// shape at 2048 blocks (10240 nodes).
+func Heat(s bench.Scale) *Stencil {
+	cfg := Config{
+		Name:        "heat",
+		Description: "Heat diffusion stencil",
+		Iterations:  5, FlopsPerCell: 4, BytesPerCell: 16, HaloBytes: 64,
+	}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.Blocks, cfg.CellsPerBlock, cfg.Iterations = 128, 128, 3
+	default:
+		cfg.Blocks, cfg.CellsPerBlock = 2048, 2048
+	}
+	return New(cfg)
+}
+
+// FDTD returns the finite-difference-time-domain benchmark: same shape as
+// heat with roughly 2.5x the per-cell work (the paper's fdtd serial time is
+// 970s vs heat's 377s on the same grid).
+func FDTD(s bench.Scale) *Stencil {
+	cfg := Config{
+		Name:        "fdtd",
+		Description: "Finite difference time domain",
+		Iterations:  5, FlopsPerCell: 10, BytesPerCell: 40, HaloBytes: 128,
+	}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.Blocks, cfg.CellsPerBlock, cfg.Iterations = 128, 128, 3
+	default:
+		cfg.Blocks, cfg.CellsPerBlock = 2048, 2048
+	}
+	return New(cfg)
+}
+
+// Life returns Conway's game of life: the lightest per-cell work in the
+// trio (275s serial vs heat's 377s), one byte per cell.
+func Life(s bench.Scale) *Stencil {
+	cfg := Config{
+		Name:        "life",
+		Description: "Conway's game of life",
+		Iterations:  5, FlopsPerCell: 3, BytesPerCell: 2, HaloBytes: 16,
+	}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.Blocks, cfg.CellsPerBlock, cfg.Iterations = 128, 512, 3
+	default:
+		cfg.Blocks, cfg.CellsPerBlock = 2048, 8192
+	}
+	return New(cfg)
+}
+
+// Config returns the instance configuration.
+func (st *Stencil) Config() Config { return st.cfg }
+
+// Info implements bench.Benchmark.
+func (st *Stencil) Info() bench.Info {
+	c := st.cfg
+	return bench.Info{
+		Name:        c.Name,
+		Description: c.Description,
+		ProblemSize: fmt.Sprintf("blocks=%d cells/block=%d", c.Blocks, c.CellsPerBlock),
+		Iterations:  c.Iterations,
+		Nodes:       c.Blocks * c.Iterations,
+	}
+}
+
+// Key layout: iteration-major. The sink is a zero-cost gather of the last
+// iteration.
+func (st *Stencil) key(it, b int) core.Key { return core.Key(it*st.cfg.Blocks + b) }
+
+func (st *Stencil) sink() core.Key {
+	return core.Key(st.cfg.Iterations * st.cfg.Blocks)
+}
+
+// preds returns the 3-point stencil dependences of task k.
+func (st *Stencil) preds(k core.Key) []core.Key {
+	c := st.cfg
+	if k == st.sink() {
+		ps := make([]core.Key, c.Blocks)
+		for b := 0; b < c.Blocks; b++ {
+			ps[b] = st.key(c.Iterations-1, b)
+		}
+		return ps
+	}
+	it, b := int(k)/c.Blocks, int(k)%c.Blocks
+	if it == 0 {
+		return nil
+	}
+	ps := make([]core.Key, 0, 3)
+	for d := -1; d <= 1; d++ {
+		if nb := b + d; nb >= 0 && nb < c.Blocks {
+			ps = append(ps, st.key(it-1, nb))
+		}
+	}
+	return ps
+}
+
+// colorOf assigns block b's owner on a p-worker machine: the matched
+// static distribution (worker w initializes blocks [w*B/p, (w+1)*B/p)).
+func (st *Stencil) colorOf(k core.Key, p int) int {
+	if k == st.sink() {
+		return 0
+	}
+	b := int(k) % st.cfg.Blocks
+	return b * p / st.cfg.Blocks
+}
+
+func (st *Stencil) footprint(k core.Key) core.Footprint {
+	if k == st.sink() {
+		return core.Footprint{Compute: 1}
+	}
+	c := st.cfg
+	cells := int64(c.CellsPerBlock)
+	return core.Footprint{
+		Compute:   cells * c.FlopsPerCell,
+		OwnBytes:  cells * c.BytesPerCell,
+		PredBytes: c.HaloBytes,
+	}
+}
+
+// Model implements bench.Benchmark.
+func (st *Stencil) Model(p int) (core.CostSpec, core.Key) {
+	return core.FuncSpec{
+		PredsFn:     st.preds,
+		ColorFn:     func(k core.Key) int { return st.colorOf(k, p) },
+		FootprintFn: st.footprint,
+	}, st.sink()
+}
+
+// Sweeps implements bench.Benchmark: the OpenMP formulation is one
+// parallel-for over blocks per iteration with a barrier between
+// iterations. Homes follow the matched static initialization.
+func (st *Stencil) Sweeps(p int) []simomp.Sweep {
+	c := st.cfg
+	sweeps := make([]simomp.Sweep, c.Iterations)
+	iterFn := func(b int) simomp.Iter {
+		var neighbors []int
+		for d := -1; d <= 1; d += 2 {
+			if nb := b + d; nb >= 0 && nb < c.Blocks {
+				neighbors = append(neighbors, nb*p/c.Blocks)
+			}
+		}
+		return simomp.Iter{
+			Home:          b * p / c.Blocks,
+			Fp:            st.footprint(st.key(0, b)),
+			NeighborHomes: neighbors,
+		}
+	}
+	for i := range sweeps {
+		sweeps[i] = simomp.Sweep{N: c.Blocks, IterFn: iterFn}
+	}
+	return sweeps
+}

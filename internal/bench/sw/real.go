@@ -1,0 +1,141 @@
+package sw
+
+import (
+	"nabbitc/internal/core"
+	"nabbitc/internal/omp"
+	"nabbitc/internal/xrand"
+)
+
+// Real is an executable Smith–Waterman alignment: two random DNA-alphabet
+// sequences and a full score matrix, computed blockwise. A Real instance
+// is single-use.
+type Real struct {
+	s    *SW
+	a, b []byte
+	// h is the (n+1)×(m+1) score matrix, row-major.
+	h      []int32
+	cols   int
+	scores scoring
+}
+
+type scoring struct {
+	match, mismatch, gapOpen int32
+}
+
+// NewReal allocates and initializes sequences deterministically.
+func (s *SW) NewReal() *Real {
+	c := s.cfg
+	n, m := c.BI*c.BlockH, c.BJ*c.BlockW
+	r := &Real{
+		s:      s,
+		a:      randomSeq(n, 11),
+		b:      randomSeq(m, 13),
+		h:      make([]int32, (n+1)*(m+1)),
+		cols:   m + 1,
+		scores: scoring{match: 2, mismatch: -1, gapOpen: 1},
+	}
+	return r
+}
+
+func randomSeq(n int, seed uint64) []byte {
+	const alphabet = "ACGT"
+	r := xrand.New(seed)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alphabet[r.Intn(4)]
+	}
+	return s
+}
+
+func (r *Real) at(i, j int) int32      { return r.h[i*r.cols+j] }
+func (r *Real) set(i, j int, v int32)  { r.h[i*r.cols+j] = v }
+
+// computeBlock fills block (bi, bj) of the score matrix. With
+// ScanWindow == 1 this is the classic linear-gap recurrence; larger
+// windows scan previous row/column cells with a linearly growing gap cost
+// (the bounded n³ formulation).
+func (r *Real) computeBlock(bi, bj int) {
+	c := r.s.cfg
+	w := c.ScanWindow
+	for i := bi*c.BlockH + 1; i <= (bi+1)*c.BlockH; i++ {
+		ca := r.a[i-1]
+		for j := bj*c.BlockW + 1; j <= (bj+1)*c.BlockW; j++ {
+			sub := r.scores.mismatch
+			if ca == r.b[j-1] {
+				sub = r.scores.match
+			}
+			best := r.at(i-1, j-1) + sub
+			for k := 1; k <= w && k <= i; k++ {
+				if v := r.at(i-k, j) - r.scores.gapOpen*int32(k); v > best {
+					best = v
+				}
+			}
+			for k := 1; k <= w && k <= j; k++ {
+				if v := r.at(i, j-k) - r.scores.gapOpen*int32(k); v > best {
+					best = v
+				}
+			}
+			if best < 0 {
+				best = 0
+			}
+			r.set(i, j, best)
+		}
+	}
+}
+
+// Spec returns a task-graph spec whose Compute fills real blocks.
+func (r *Real) Spec(p int) (core.CostSpec, core.Key) {
+	s := r.s
+	return core.FuncSpec{
+		PredsFn: s.preds,
+		ColorFn: func(k core.Key) int { return s.colorOf(k, p) },
+		ComputeFn: func(k core.Key) {
+			r.computeBlock(int(k)/s.cfg.BJ, int(k)%s.cfg.BJ)
+		},
+		FootprintFn: s.footprint,
+	}, s.sinkKey()
+}
+
+// RunSerial computes all blocks in row-major order.
+func (r *Real) RunSerial() {
+	c := r.s.cfg
+	for bi := 0; bi < c.BI; bi++ {
+		for bj := 0; bj < c.BJ; bj++ {
+			r.computeBlock(bi, bj)
+		}
+	}
+}
+
+// RunOpenMP computes the matrix as a barriered wavefront over
+// anti-diagonals.
+func (r *Real) RunOpenMP(team *omp.Team, sched omp.Schedule) {
+	c := r.s.cfg
+	ndiag := c.BI + c.BJ - 1
+	for d := 0; d < ndiag; d++ {
+		lo, n := r.s.diagBlocks(d)
+		team.For(n, sched, func(i, w int) {
+			bi := lo + i
+			r.computeBlock(bi, d-bi)
+		})
+	}
+}
+
+// MaxScore returns the best local alignment score.
+func (r *Real) MaxScore() int32 {
+	var best int32
+	for _, v := range r.h {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Checksum returns a content hash of the score matrix.
+func (r *Real) Checksum() int64 {
+	var sum int64
+	for i, v := range r.h {
+		sum += int64(v) * int64(i%127+1)
+	}
+	return sum
+}

@@ -1,0 +1,186 @@
+// Package sw implements the paper's Smith–Waterman benchmarks: blocked
+// local sequence alignment as a 2D wavefront task graph. Block (i,j)
+// depends on (i-1,j), (i,j-1), and (i-1,j-1).
+//
+// The paper runs two variants: "sw" is the O(n³) formulation (general gap
+// penalties require scanning previous cells in the row and column; here
+// the scan window is bounded, preserving the much-heavier-per-cell cost
+// profile) on 32×32 blocks of a 5120² problem (25600 nodes), and "swn2"
+// is the O(n²) linear-gap formulation on 1024² blocks of a 131072² problem
+// (16384 nodes). In both, the OpenMP comparison point is a wavefront that
+// barriers at every anti-diagonal, while Nabbit/NabbitC expose the full
+// task graph — this is where the dynamic schedulers beat OpenMP in Fig. 6.
+// Wavefront executions drift across color bands, so all schedulers incur
+// high remote percentages here (Fig. 7), unlike the iterated stencils.
+package sw
+
+import (
+	"fmt"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/core"
+	"nabbitc/internal/simomp"
+)
+
+// Config describes a Smith–Waterman instance.
+type Config struct {
+	// Name is the Table I id: "sw" (cubic) or "swn2" (quadratic).
+	Name        string
+	Description string
+	// BI, BJ are the block-grid dimensions (BI*BJ tasks).
+	BI, BJ int
+	// BlockH, BlockW are DP cells per block.
+	BlockH, BlockW int
+	// ScanWindow is the bounded gap-scan length of the cubic variant
+	// (1 = linear gap, the n² variant).
+	ScanWindow int
+}
+
+// SW is one benchmark instance.
+type SW struct {
+	cfg Config
+}
+
+// New returns an instance with the given configuration.
+func New(cfg Config) *SW { return &SW{cfg: cfg} }
+
+// N3 returns the cubic-cost variant at the given scale (paper: 5120²
+// problem, 32×32 blocks, 25600 nodes).
+func N3(s bench.Scale) *SW {
+	cfg := Config{
+		Name:        "sw",
+		Description: "Smith-Waterman (n3)",
+		ScanWindow:  16,
+	}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.BI, cfg.BJ, cfg.BlockH, cfg.BlockW = 16, 16, 16, 16
+	default:
+		cfg.BI, cfg.BJ, cfg.BlockH, cfg.BlockW = 160, 160, 32, 32
+	}
+	return New(cfg)
+}
+
+// N2 returns the quadratic (linear-gap) variant at the given scale
+// (paper: 131072² problem, 1024² blocks, 16384 nodes).
+func N2(s bench.Scale) *SW {
+	cfg := Config{
+		Name:        "swn2",
+		Description: "Smith-Waterman (n2)",
+		ScanWindow:  1,
+	}
+	switch s {
+	case bench.ScaleSmall:
+		cfg.BI, cfg.BJ, cfg.BlockH, cfg.BlockW = 12, 12, 32, 32
+	default:
+		cfg.BI, cfg.BJ, cfg.BlockH, cfg.BlockW = 128, 128, 128, 128
+	}
+	return New(cfg)
+}
+
+// Config returns the instance configuration.
+func (s *SW) Config() Config { return s.cfg }
+
+// Info implements bench.Benchmark.
+func (s *SW) Info() bench.Info {
+	c := s.cfg
+	return bench.Info{
+		Name:        c.Name,
+		Description: c.Description,
+		ProblemSize: fmt.Sprintf("n=%d m=%d B=%dx%d", c.BI*c.BlockH, c.BJ*c.BlockW, c.BlockH, c.BlockW),
+		Iterations:  1,
+		Nodes:       c.BI * c.BJ,
+	}
+}
+
+func (s *SW) key(bi, bj int) core.Key { return core.Key(bi*s.cfg.BJ + bj) }
+
+// Sink is the bottom-right block: its completion implies the whole
+// wavefront (no artificial sink node needed).
+func (s *SW) sinkKey() core.Key { return s.key(s.cfg.BI-1, s.cfg.BJ-1) }
+
+func (s *SW) preds(k core.Key) []core.Key {
+	bi, bj := int(k)/s.cfg.BJ, int(k)%s.cfg.BJ
+	ps := make([]core.Key, 0, 3)
+	if bi > 0 {
+		ps = append(ps, s.key(bi-1, bj))
+	}
+	if bj > 0 {
+		ps = append(ps, s.key(bi, bj-1))
+	}
+	if bi > 0 && bj > 0 {
+		ps = append(ps, s.key(bi-1, bj-1))
+	}
+	return ps
+}
+
+// colorOf assigns blocks to workers by row band: the data distribution
+// colors row-blocks to their initializing worker.
+func (s *SW) colorOf(k core.Key, p int) int {
+	bi := int(k) / s.cfg.BJ
+	return bi * p / s.cfg.BI
+}
+
+func (s *SW) footprint(core.Key) core.Footprint {
+	c := s.cfg
+	cells := int64(c.BlockH * c.BlockW)
+	return core.Footprint{
+		// The bounded gap scan multiplies per-cell work.
+		Compute:  cells * int64(2+c.ScanWindow),
+		OwnBytes: cells * 4,
+		// Boundary rows/columns read from each predecessor block.
+		PredBytes: int64(c.BlockH+c.BlockW) * 2,
+	}
+}
+
+// Model implements bench.Benchmark.
+func (s *SW) Model(p int) (core.CostSpec, core.Key) {
+	return core.FuncSpec{
+		PredsFn:     s.preds,
+		ColorFn:     func(k core.Key) int { return s.colorOf(k, p) },
+		FootprintFn: s.footprint,
+	}, s.sinkKey()
+}
+
+// diagBlocks returns the block coordinates on anti-diagonal d in
+// increasing bi order.
+func (s *SW) diagBlocks(d int) (lo, n int) {
+	c := s.cfg
+	loBI := d - (c.BJ - 1)
+	if loBI < 0 {
+		loBI = 0
+	}
+	hiBI := d
+	if hiBI > c.BI-1 {
+		hiBI = c.BI - 1
+	}
+	return loBI, hiBI - loBI + 1
+}
+
+// Sweeps implements bench.Benchmark: the OpenMP wavefront barriers after
+// every anti-diagonal (the paper: "we have implemented the wavefront
+// computation in OpenMP, which must synchronize at each diagonal step").
+func (s *SW) Sweeps(p int) []simomp.Sweep {
+	c := s.cfg
+	ndiag := c.BI + c.BJ - 1
+	sweeps := make([]simomp.Sweep, ndiag)
+	for d := 0; d < ndiag; d++ {
+		d := d
+		lo, n := s.diagBlocks(d)
+		sweeps[d] = simomp.Sweep{N: n, IterFn: func(i int) simomp.Iter {
+			bi := lo + i
+			bj := d - bi
+			k := s.key(bi, bj)
+			var neighbors []int
+			for _, pk := range s.preds(k) {
+				neighbors = append(neighbors, s.colorOf(pk, p))
+			}
+			return simomp.Iter{
+				Home:          s.colorOf(k, p),
+				Fp:            s.footprint(k),
+				NeighborHomes: neighbors,
+			}
+		}}
+	}
+	return sweeps
+}

@@ -1,0 +1,201 @@
+// Package colorset implements fixed-capacity bitmask sets of colors.
+//
+// In NabbitC a color identifies the worker (and transitively the NUMA
+// location) whose memory holds the data a task needs. The Cilk Plus
+// runtime extension in the paper maintains a "color deque" alongside the
+// work deque: each stealable continuation carries a constant-size array of
+// boolean flags recording which colors occur inside it, so that a thief
+// can decide in O(1) whether a frame is worth a colored steal. A Set is
+// that array, packed 64 colors per word.
+//
+// Sets are value types with capacity fixed at creation; operations on sets
+// of differing capacity panic, since that always indicates a scheduler
+// configured inconsistently.
+package colorset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bitmask over colors [0, Cap). The zero value is an empty set of
+// capacity 0; use New to create a set able to hold colors.
+type Set struct {
+	words []uint64
+	n     int // capacity in colors
+}
+
+// New returns an empty set with capacity for colors in [0, n).
+func New(n int) Set {
+	if n < 0 {
+		panic("colorset: negative capacity")
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Of returns a set with capacity n containing the given colors.
+func Of(n int, colors ...int) Set {
+	s := New(n)
+	for _, c := range colors {
+		s.Add(c)
+	}
+	return s
+}
+
+// Cap returns the capacity (number of representable colors).
+func (s Set) Cap() int { return s.n }
+
+// check panics if c is outside [0, s.n).
+func (s Set) check(c int) {
+	if c < 0 || c >= s.n {
+		panic(fmt.Sprintf("colorset: color %d out of range [0,%d)", c, s.n))
+	}
+}
+
+// Add inserts color c.
+func (s Set) Add(c int) {
+	s.check(c)
+	s.words[c/wordBits] |= 1 << (uint(c) % wordBits)
+}
+
+// Remove deletes color c.
+func (s Set) Remove(c int) {
+	s.check(c)
+	s.words[c/wordBits] &^= 1 << (uint(c) % wordBits)
+}
+
+// Has reports whether color c is present. Colors outside the capacity are
+// reported absent rather than panicking: a thief may legitimately probe
+// with its own color against a set built for a smaller run.
+func (s Set) Has(c int) bool {
+	if c < 0 || c/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[c/wordBits]&(1<<(uint(c)%wordBits)) != 0
+}
+
+// Empty reports whether the set has no colors.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of colors present.
+func (s Set) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all colors in place.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s Set) sameCap(o Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("colorset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// UnionWith adds every color of o into s.
+func (s Set) UnionWith(o Set) {
+	s.sameCap(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every color not in o.
+func (s Set) IntersectWith(o Set) {
+	s.sameCap(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Intersects reports whether s and o share at least one color.
+func (s Set) Intersects(o Set) bool {
+	s.sameCap(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain exactly the same colors.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Colors returns the present colors in ascending order.
+func (s Set) Colors() []int {
+	out := make([]int, 0, s.Len())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*wordBits+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each present color in ascending order, stopping
+// early if fn returns false.
+func (s Set) ForEach(fn func(c int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as "{c1,c2,...}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(c int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", c)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

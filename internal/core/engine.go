@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nabbitc/internal/deque"
+	"nabbitc/internal/xrand"
+)
+
+// engine is one run of the real parallel scheduler: P worker goroutines,
+// each with a work-stealing deque of morphing-continuation items, driving
+// the on-demand task graph rooted at the sink key.
+type engine struct {
+	spec    Spec
+	opts    Options
+	nm      *nodeMap
+	workers []*worker
+	sinkKey Key
+	done    atomic.Bool
+	start   time.Time
+}
+
+type worker struct {
+	id    int // == color
+	color int
+	e     *engine
+	dq    deque.Queue[item]
+	rng   *xrand.Rand
+	stats WorkerStats
+
+	firstStealPending bool
+	startedWork       bool
+}
+
+// Run executes the task graph whose completion is marked by the sink task,
+// creating nodes on demand from the sink's (transitive) predecessors, and
+// returns scheduling statistics. Every task reachable from the sink is
+// computed exactly once, and a task computes only after all its
+// predecessors. The graph must be acyclic (see CheckDAG).
+func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		spec:    spec,
+		opts:    opts,
+		nm:      newNodeMap(spec),
+		sinkKey: sink,
+	}
+	p := opts.Policy
+	e.workers = make([]*worker, opts.Workers)
+	for i := range e.workers {
+		var dq deque.Queue[item]
+		if p.UseChaseLev {
+			dq = deque.NewChaseLev[item](64)
+		} else {
+			dq = deque.NewMutex[item](64)
+		}
+		e.workers[i] = &worker{
+			id:                i,
+			color:             i,
+			e:                 e,
+			dq:                dq,
+			rng:               xrand.NewWorker(p.Seed, i),
+			firstStealPending: p.Colored && p.ForceFirstColoredSteal,
+		}
+	}
+	// Worker 0 starts with the root work, so its first acquisition is
+	// not a steal.
+	e.workers[0].firstStealPending = false
+
+	e.start = time.Now()
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop(w.id == 0)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(e.start)
+
+	sinkNode, ok := e.nm.get(sink)
+	if !ok || !sinkNode.Computed() {
+		return nil, fmt.Errorf("core: run ended without computing sink %d", sink)
+	}
+
+	st := &Stats{
+		Workers:      make([]WorkerStats, len(e.workers)),
+		Elapsed:      elapsed,
+		NodesCreated: e.nm.count(),
+		Topology:     opts.Topology,
+	}
+	for i, w := range e.workers {
+		if !w.startedWork {
+			w.stats.TimeToFirstWork = elapsed
+		}
+		st.Workers[i] = w.stats
+	}
+	return st, nil
+}
+
+// RunNabbit runs the graph under plain Nabbit (random stealing).
+func RunNabbit(spec Spec, sink Key, workers int) (*Stats, error) {
+	return Run(spec, sink, Options{Workers: workers, Policy: NabbitPolicy()})
+}
+
+// RunNabbitC runs the graph under NabbitC (colored scheduling).
+func RunNabbitC(spec Spec, sink Key, workers int) (*Stats, error) {
+	return Run(spec, sink, Options{Workers: workers, Policy: NabbitCPolicy()})
+}
+
+func (w *worker) loop(seedRoot bool) {
+	if w.e.opts.PinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	if seedRoot {
+		w.markStarted()
+		n, created := w.e.nm.getOrCreate(w.e.sinkKey)
+		if !created {
+			panic("core: sink node pre-existed at run start")
+		}
+		w.initAndCompute(n)
+	}
+	for !w.e.done.Load() {
+		if ent, ok := w.dq.PopBottom(); ok {
+			w.exec(ent.Value)
+			continue
+		}
+		if it, ok := w.findWork(); ok {
+			w.exec(it)
+		}
+	}
+}
+
+func (w *worker) markStarted() {
+	if !w.startedWork {
+		w.startedWork = true
+		w.stats.TimeToFirstWork = time.Since(w.e.start)
+	}
+}
+
+func (w *worker) exec(it item) {
+	w.markStarted()
+	w.runItem(it)
+}
+
+// push reifies a continuation as a stealable deque item tagged with the
+// colors available inside it (the paper's cilkrts_set_next_colors).
+func (w *worker) push(it item) {
+	w.dq.PushBottom(deque.Entry[item]{
+		Value:  it,
+		Colors: colorsOf(it.groups, len(w.e.workers)),
+	})
+}
+
+// runItem interprets a morphing continuation: spawn_colors descends into
+// the half of the color groups containing this worker's color, leaving
+// the other half stealable; spawn_nodes then binary-splits the single
+// remaining color group the same way, finally executing one leaf.
+func (w *worker) runItem(it item) {
+	groups := it.groups
+	if itemSize(groups) == 0 {
+		return
+	}
+	colored := w.e.opts.Policy.Colored
+	for len(groups) > 1 {
+		mid := len(groups) / 2
+		first, second := groups[:mid], groups[mid:]
+		if colored && containsColor(second, w.color) && !containsColor(first, w.color) {
+			first, second = second, first
+		}
+		w.push(item{owner: it.owner, groups: second})
+		groups = first
+	}
+	g := groups[0]
+	if it.owner != nil {
+		keys := g.keys
+		for len(keys) > 1 {
+			mid := len(keys) / 2
+			w.push(item{owner: it.owner, groups: []group{{color: g.color, keys: keys[mid:]}}})
+			keys = keys[:mid]
+		}
+		w.tryInitCompute(it.owner, keys[0])
+	} else {
+		nodes := g.nodes
+		for len(nodes) > 1 {
+			mid := len(nodes) / 2
+			w.push(item{groups: []group{{color: g.color, nodes: nodes[mid:]}}})
+			nodes = nodes[:mid]
+		}
+		w.computeAndNotify(nodes[0])
+	}
+}
+
+// tryInitCompute resolves one predecessor key of owner: create the
+// predecessor and process it, or enqueue owner on the existing
+// predecessor's successor list, or — if the predecessor has already
+// computed — account it directly, possibly making owner ready.
+func (w *worker) tryInitCompute(owner *Node, pkey Key) {
+	pred, created := w.e.nm.getOrCreate(pkey)
+	if created {
+		// We created pred, so it cannot have computed yet; owner's
+		// join will be accounted by pred's completion notification.
+		pred.addSuccessor(owner)
+		w.initAndCompute(pred)
+		return
+	}
+	if pred.addSuccessor(owner) {
+		return // notification will account this predecessor
+	}
+	// pred had already computed.
+	if owner.decJoin() {
+		w.computeAndNotify(owner)
+	}
+}
+
+// initAndCompute processes a freshly created node: compute it immediately
+// if it has no predecessors, otherwise spawn its predecessors grouped by
+// color.
+func (w *worker) initAndCompute(n *Node) {
+	if len(n.preds) == 0 {
+		w.computeAndNotify(n)
+		return
+	}
+	groups := groupKeysByColor(w.e.spec, n.preds, w.e.opts.Policy.Colored)
+	w.runItem(item{owner: n, groups: groups})
+}
+
+// computeAndNotify executes a ready node, then notifies its successors,
+// spawning any that became ready (grouped by color).
+func (w *worker) computeAndNotify(n *Node) {
+	// Locality accounting per the paper (§V-B): one access for the node
+	// itself plus one per predecessor, judged by the data's true home
+	// domain vs. this worker's domain.
+	topo := w.e.opts.Topology
+	w.stats.NodesExecuted++
+	if n.color == w.color {
+		w.stats.OwnColorNodes++
+	}
+	w.stats.Accesses.Count(topo, w.color, n.home)
+	for _, pk := range n.preds {
+		w.stats.Accesses.Count(topo, w.color, HomeOf(w.e.spec, pk))
+	}
+
+	w.e.spec.Compute(n.key)
+	if w.e.opts.OnComplete != nil {
+		w.e.opts.OnComplete(w.id, n.key)
+	}
+
+	succs := n.markComputed()
+	var ready []*Node
+	for _, s := range succs {
+		if s.decJoin() {
+			ready = append(ready, s)
+		}
+	}
+	if n.key == w.e.sinkKey {
+		w.e.done.Store(true)
+	}
+	if len(ready) == 0 {
+		return
+	}
+	groups := groupNodesByColor(ready, w.e.opts.Policy.Colored)
+	w.runItem(item{groups: groups})
+}
+
+// victim picks a random worker other than w.
+func (w *worker) victim() *worker {
+	v := w.rng.Intn(len(w.e.workers) - 1)
+	if v >= w.id {
+		v++
+	}
+	return w.e.workers[v]
+}
+
+// findWork implements the stealing policy: while enforcing the first
+// colored steal, only colored attempts count (bounded by
+// FirstStealMaxRounds sweeps); afterwards, ColoredStealAttempts colored
+// probes precede each random steal. Idle time accrues here.
+func (w *worker) findWork() (item, bool) {
+	t0 := time.Now()
+	defer func() { w.stats.IdleTime += time.Since(t0) }()
+
+	e := w.e
+	p := e.opts.Policy
+	nw := len(e.workers)
+	if nw == 1 {
+		runtime.Gosched()
+		return item{}, false
+	}
+
+	if w.firstStealPending {
+		maxChecks := int64(p.FirstStealMaxRounds) * int64(nw-1)
+		for !e.done.Load() {
+			v := w.victim()
+			w.stats.FirstStealChecks++
+			w.stats.StealAttempts++
+			w.stats.ColoredAttempts++
+			ent, out := v.dq.StealTopColored(w.color)
+			switch out {
+			case deque.StealOK:
+				w.firstStealPending = false
+				w.stats.FirstStealForcedOK = true
+				w.stats.StealsOK++
+				w.stats.ColoredStealsOK++
+				return ent.Value, true
+			case deque.StealMiss:
+				w.stats.ColoredMisses++
+			}
+			if w.stats.FirstStealChecks >= maxChecks {
+				w.firstStealPending = false
+				break
+			}
+			runtime.Gosched()
+		}
+		if e.done.Load() {
+			return item{}, false
+		}
+	}
+
+	for !e.done.Load() {
+		if p.Colored {
+			for i := 0; i < p.ColoredStealAttempts; i++ {
+				v := w.victim()
+				w.stats.StealAttempts++
+				w.stats.ColoredAttempts++
+				ent, out := v.dq.StealTopColored(w.color)
+				if out == deque.StealOK {
+					w.stats.StealsOK++
+					w.stats.ColoredStealsOK++
+					return ent.Value, true
+				}
+				if out == deque.StealMiss {
+					w.stats.ColoredMisses++
+				}
+			}
+		}
+		v := w.victim()
+		w.stats.StealAttempts++
+		ent, out := v.dq.StealTop()
+		if out == deque.StealOK {
+			w.stats.StealsOK++
+			return ent.Value, true
+		}
+		runtime.Gosched()
+	}
+	return item{}, false
+}

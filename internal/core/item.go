@@ -1,0 +1,127 @@
+package core
+
+import "nabbitc/internal/colorset"
+
+// The paper's spawn_colors/spawn_nodes recursion reorganizes a spawn of
+// many nodes so that the executing worker descends into the half of the
+// color groups containing its own color, while the other half is left
+// behind as a stealable continuation whose color set is advertised to the
+// runtime (cilkrts_set_next_colors). Go has no continuation stealing, so
+// that continuation is reified here as a deque item: an item *is* the
+// pending "spawn_colors(second_half)" call, carrying the remaining color
+// groups and the union of their colors for the thief's O(1) check.
+//
+// An item is one of two shapes, distinguished by owner:
+//   - owner != nil: predecessor work — the groups hold predecessor *keys*
+//     of owner, each to be resolved with tryInitCompute.
+//   - owner == nil: successor work — the groups hold ready *nodes*, each
+//     to be computed directly.
+
+// group is a set of same-colored work: either pred keys (with nodes nil)
+// or ready nodes (with keys nil).
+type group struct {
+	color int
+	keys  []Key
+	nodes []*Node
+}
+
+func (g group) size() int {
+	if g.keys != nil {
+		return len(g.keys)
+	}
+	return len(g.nodes)
+}
+
+// item is a deque entry: a reified spawn_colors/spawn_nodes continuation.
+type item struct {
+	owner  *Node // non-nil for predecessor work
+	groups []group
+}
+
+// colorsOf returns the color mask advertised for an item holding these
+// groups, sized for nworkers colors. Colors outside the worker range are
+// skipped: no worker can prefer them, so advertising them is pointless
+// (and with an invalid coloring, Table III, every mask stays empty — all
+// colored steals miss, as intended).
+func colorsOf(groups []group, nworkers int) colorset.Set {
+	s := colorset.New(nworkers)
+	for _, g := range groups {
+		if g.color >= 0 && g.color < nworkers {
+			s.Add(g.color)
+		}
+	}
+	return s
+}
+
+// containsColor reports whether any group has the given color.
+func containsColor(groups []group, color int) bool {
+	for _, g := range groups {
+		if g.color == color {
+			return true
+		}
+	}
+	return false
+}
+
+// groupKeysByColor partitions pred keys by spec color, preserving
+// first-appearance order of colors (deterministic for the simulator).
+// When colored scheduling is off, everything lands in a single group so
+// the plain Nabbit spawn order is exactly the input order.
+func groupKeysByColor(spec Spec, keys []Key, colored bool) []group {
+	if !colored || len(keys) <= 1 {
+		return []group{{color: colorOrZero(spec, keys), keys: keys}}
+	}
+	index := make(map[int]int, 8)
+	var groups []group
+	for _, k := range keys {
+		c := spec.Color(k)
+		gi, ok := index[c]
+		if !ok {
+			gi = len(groups)
+			index[c] = gi
+			groups = append(groups, group{color: c})
+		}
+		groups[gi].keys = append(groups[gi].keys, k)
+	}
+	return groups
+}
+
+func colorOrZero(spec Spec, keys []Key) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return spec.Color(keys[0])
+}
+
+// groupNodesByColor partitions ready nodes by their color, preserving
+// first-appearance order.
+func groupNodesByColor(nodes []*Node, colored bool) []group {
+	if !colored || len(nodes) <= 1 {
+		c := 0
+		if len(nodes) > 0 {
+			c = nodes[0].color
+		}
+		return []group{{color: c, nodes: nodes}}
+	}
+	index := make(map[int]int, 8)
+	var groups []group
+	for _, n := range nodes {
+		gi, ok := index[n.color]
+		if !ok {
+			gi = len(groups)
+			index[n.color] = gi
+			groups = append(groups, group{color: n.color})
+		}
+		groups[gi].nodes = append(groups[gi].nodes, n)
+	}
+	return groups
+}
+
+// itemSize returns the number of leaf work units in an item.
+func itemSize(groups []group) int {
+	total := 0
+	for _, g := range groups {
+		total += g.size()
+	}
+	return total
+}

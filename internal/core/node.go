@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Node is the runtime state of one task. Nodes are created on demand the
+// first time any worker names their key, and live until the run ends.
+//
+// Lifecycle: a node is created (atomically, exactly once) with its
+// predecessor list and a join counter equal to the number of
+// predecessors. Each predecessor is accounted exactly once — either
+// immediately (it had already computed when the scanning worker reached
+// it) or by the notification the predecessor sends on completion to every
+// node in its successor list. The worker whose decrement takes the join
+// counter to zero executes the node. Nodes with no predecessors execute
+// immediately upon creation by their creator.
+type Node struct {
+	key   Key
+	color int
+	home  int
+	preds []Key
+	// join counts unaccounted predecessors. The worker that decrements
+	// it to zero owns the right (and obligation) to compute the node.
+	join atomic.Int32
+
+	mu       sync.Mutex
+	succs    []*Node
+	computed bool
+	// computedFast mirrors `computed` for lock-free reads on the scan
+	// fast path; the authoritative value is the locked field.
+	computedFast atomic.Bool
+}
+
+// Key returns the node's task key.
+func (n *Node) Key() Key { return n.key }
+
+// Color returns the scheduling color the spec assigned to the task.
+func (n *Node) Color() int { return n.color }
+
+// Home returns the color whose memory holds the task's data.
+func (n *Node) Home() int { return n.home }
+
+// Preds returns the task's predecessor keys. Callers must not modify the
+// returned slice.
+func (n *Node) Preds() []Key { return n.preds }
+
+// Computed reports whether the task has finished executing.
+func (n *Node) Computed() bool { return n.computedFast.Load() }
+
+// addSuccessor appends s to n's successor list so that n's completion will
+// account one of s's predecessors. It returns false — and appends nothing —
+// if n has already computed, in which case the caller must account the
+// predecessor itself.
+func (n *Node) addSuccessor(s *Node) bool {
+	n.mu.Lock()
+	if n.computed {
+		n.mu.Unlock()
+		return false
+	}
+	n.succs = append(n.succs, s)
+	n.mu.Unlock()
+	return true
+}
+
+// markComputed transitions the node to computed and returns the successor
+// list to notify. After this returns, addSuccessor refuses new entries, so
+// every successor is notified exactly once.
+func (n *Node) markComputed() []*Node {
+	n.mu.Lock()
+	n.computed = true
+	n.computedFast.Store(true)
+	succs := n.succs
+	n.succs = nil
+	n.mu.Unlock()
+	return succs
+}
+
+// decJoin accounts one predecessor and reports whether the node became
+// ready (join reached zero).
+func (n *Node) decJoin() bool {
+	v := n.join.Add(-1)
+	if v < 0 {
+		panic("core: join counter went negative — a predecessor was accounted twice")
+	}
+	return v == 0
+}
+
+// nodeShardCount is a power of two sized to keep per-shard contention low
+// at the paper's 80-worker scale.
+const nodeShardCount = 128
+
+type nodeShard struct {
+	mu sync.Mutex
+	m  map[Key]*Node
+	// pad keeps adjacent shards off one cache line.
+	_ [40]byte
+}
+
+// nodeMap is the on-demand node table: a sharded hash map providing the
+// atomic create-or-get that Nabbit's dynamic exploration relies on (the
+// paper's "atomically attempt to create a predecessor with key pkey").
+type nodeMap struct {
+	spec   Spec
+	shards [nodeShardCount]nodeShard
+}
+
+func newNodeMap(spec Spec) *nodeMap {
+	nm := &nodeMap{spec: spec}
+	for i := range nm.shards {
+		nm.shards[i].m = make(map[Key]*Node)
+	}
+	return nm
+}
+
+func shardOf(k Key) uint64 {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> (64 - 7)
+}
+
+// getOrCreate returns the node for k, creating it if absent. The boolean
+// reports whether this call created the node; exactly one caller per key
+// observes true, and that caller is responsible for processing the node's
+// predecessors (the node is returned fully initialized either way).
+func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
+	sh := &nm.shards[shardOf(k)]
+	sh.mu.Lock()
+	if n, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return n, false
+	}
+	// Initialize outside the shard lock? Predecessors() may be
+	// arbitrarily expensive, but releasing the lock would let a second
+	// creator race. Insert a placeholder first, then fill it in: other
+	// threads only need the pointer identity (to enqueue successors),
+	// and the fields they read (join via decJoin, succs via
+	// addSuccessor) are safe on a zero node... except join must be set
+	// before any decrement. Keep initialization under the lock instead:
+	// Predecessors is required to be cheap per call (specs precompute),
+	// and a placeholder protocol would trade a rare stall for a subtle
+	// published-before-initialized hazard.
+	n := &Node{
+		key:   k,
+		color: nm.spec.Color(k),
+		home:  HomeOf(nm.spec, k),
+		preds: nm.spec.Predecessors(k),
+	}
+	n.join.Store(int32(len(n.preds)))
+	sh.m[k] = n
+	sh.mu.Unlock()
+	return n, true
+}
+
+// get returns the node for k if it exists.
+func (nm *nodeMap) get(k Key) (*Node, bool) {
+	sh := &nm.shards[shardOf(k)]
+	sh.mu.Lock()
+	n, ok := sh.m[k]
+	sh.mu.Unlock()
+	return n, ok
+}
+
+// count returns the number of created nodes.
+func (nm *nodeMap) count() int {
+	total := 0
+	for i := range nm.shards {
+		sh := &nm.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// forEach visits every created node. Not for use while workers run.
+func (nm *nodeMap) forEach(fn func(*Node)) {
+	for i := range nm.shards {
+		sh := &nm.shards[i]
+		sh.mu.Lock()
+		for _, n := range sh.m {
+			fn(n)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"nabbitc/internal/numa"
+)
+
+// Policy selects between Nabbit and NabbitC behaviour and tunes the
+// colored-steal protocol.
+type Policy struct {
+	// Colored enables NabbitC: color-aware spawn ordering (morphing
+	// continuations) and colored steals. With Colored false the engine
+	// is plain Nabbit: spawn order is the spec's order and every steal
+	// is random.
+	Colored bool
+	// ColoredStealAttempts is the constant number of colored steal
+	// attempts an idle worker makes before each random steal (the
+	// paper's "constant number of colored steal attempts").
+	ColoredStealAttempts int
+	// ForceFirstColoredSteal requires each worker's first steal to be a
+	// successful colored steal, bounded by FirstStealMaxRounds.
+	ForceFirstColoredSteal bool
+	// FirstStealMaxRounds bounds the enforcement of the first colored
+	// steal: after this many sweeps of (Workers-1) colored attempts the
+	// worker gives up and reverts to the normal policy. Without a bound
+	// an invalid coloring (Table III) would spin forever.
+	FirstStealMaxRounds int
+	// UseChaseLev selects the lock-free Chase–Lev deque instead of the
+	// default mutex deque (deque-substrate ablation).
+	UseChaseLev bool
+	// Seed drives victim selection; runs with equal seeds and worker
+	// counts make identical scheduling decisions in the simulator.
+	Seed uint64
+}
+
+// NabbitPolicy returns plain Nabbit: random stealing, color-oblivious.
+func NabbitPolicy() Policy {
+	return Policy{Colored: false, Seed: 1}
+}
+
+// NabbitCPolicy returns the paper's NabbitC configuration: colored steals
+// with a small constant number of attempts before falling back to a random
+// steal, and an enforced (bounded) first colored steal.
+func NabbitCPolicy() Policy {
+	return Policy{
+		Colored:                true,
+		ColoredStealAttempts:   4,
+		ForceFirstColoredSteal: true,
+		FirstStealMaxRounds:    64,
+		Seed:                   1,
+	}
+}
+
+// withDefaults fills unset tunables.
+func (p Policy) withDefaults() Policy {
+	if p.Colored && p.ColoredStealAttempts <= 0 {
+		p.ColoredStealAttempts = 4
+	}
+	if p.ForceFirstColoredSteal && p.FirstStealMaxRounds <= 0 {
+		p.FirstStealMaxRounds = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Options configures a run of the real parallel engine.
+type Options struct {
+	// Workers is the number of scheduler workers (the paper's P). Each
+	// worker has the unique color equal to its id. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Policy selects Nabbit vs NabbitC behaviour.
+	Policy Policy
+	// Topology groups worker colors into NUMA domains for the locality
+	// accounting; defaults to numa.Paper(Workers).
+	Topology numa.Topology
+	// PinWorkers locks each worker goroutine to an OS thread. Go cannot
+	// bind threads to cores, but pinning at least prevents goroutine
+	// migration between threads mid-task, the closest available
+	// approximation to the paper's pthread pinning.
+	PinWorkers bool
+	// OnComplete, if set, is called after each task computes, with the
+	// executing worker's id — the schedule-recording hook the paper's
+	// §V-B replay methodology uses. It is called from worker goroutines
+	// concurrently and must be safe for concurrent use.
+	OnComplete func(worker int, k Key)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Topology == (numa.Topology{}) {
+		o.Topology = numa.Paper(o.Workers)
+	}
+	if o.Topology.Workers != o.Workers {
+		return o, fmt.Errorf("core: topology describes %d workers, run has %d",
+			o.Topology.Workers, o.Workers)
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return o, err
+	}
+	o.Policy = o.Policy.withDefaults()
+	return o, nil
+}

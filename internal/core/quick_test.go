@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nabbitc/internal/xrand"
+)
+
+// randomDAG builds a pseudo-random layered DAG from a seed: up to
+// `layers` layers of up to `width` tasks, each with 0-4 predecessors in
+// earlier layers (not necessarily adjacent), plus a sink over the final
+// layer. Colors are drawn randomly too, including a sprinkling of invalid
+// ones — the scheduler must tolerate any coloring.
+func randomDAG(seed uint64, layers, width, workers int) (Spec, Key, []Key, *recorder) {
+	r := xrand.New(seed)
+	const stride = 1 << 16
+	key := func(l, i int) Key { return Key(l*stride + i) }
+
+	counts := make([]int, layers)
+	for l := range counts {
+		counts[l] = 1 + r.Intn(width)
+	}
+	preds := map[Key][]Key{}
+	colors := map[Key]int{}
+	var keys []Key
+	for l := 0; l < layers; l++ {
+		for i := 0; i < counts[l]; i++ {
+			k := key(l, i)
+			keys = append(keys, k)
+			if r.Intn(10) == 0 {
+				colors[k] = -1 // invalid on purpose
+			} else {
+				colors[k] = r.Intn(workers)
+			}
+			if l == 0 {
+				continue
+			}
+			fan := r.Intn(5)
+			for f := 0; f < fan; f++ {
+				pl := r.Intn(l)
+				preds[k] = append(preds[k], key(pl, r.Intn(counts[pl])))
+			}
+		}
+	}
+	sink := Key(layers * stride)
+	keys = append(keys, sink)
+	colors[sink] = 0
+	last := layers - 1
+	for i := 0; i < counts[last]; i++ {
+		preds[sink] = append(preds[sink], key(last, i))
+	}
+
+	rec := newRecorder()
+	spec := FuncSpec{
+		PredsFn:   func(k Key) []Key { return preds[k] },
+		ColorFn:   func(k Key) int { return colors[k] },
+		ComputeFn: rec.record,
+	}
+	return spec, sink, keys, rec
+}
+
+// reachable returns the keys actually reachable from the sink (layered
+// construction can orphan tasks no path references).
+func reachable(spec Spec, sink Key) []Key {
+	order, err := TopoOrder(spec, sink, 0)
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// Property: for any random DAG, policy, and worker count, every reachable
+// task executes exactly once, after all its predecessors.
+func TestQuickRandomDAGs(t *testing.T) {
+	f := func(seed uint64, layersRaw, widthRaw, workersRaw uint8) bool {
+		layers := int(layersRaw)%6 + 2
+		width := int(widthRaw)%12 + 1
+		workers := int(workersRaw)%7 + 1
+		colored := seed%2 == 0
+
+		spec, sink, _, rec := randomDAG(seed, layers, width, workers)
+		keys := reachable(spec, sink)
+
+		pol := NabbitCPolicy()
+		pol.Colored = colored
+		pol.FirstStealMaxRounds = 2
+		pol.Seed = seed + 1
+		st, err := Run(spec, sink, Options{Workers: workers, Policy: pol})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if int(st.TotalNodes()) != len(keys) {
+			t.Logf("seed %d: executed %d, want %d", seed, st.TotalNodes(), len(keys))
+			return false
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		for _, k := range keys {
+			if rec.count[k] != 1 {
+				t.Logf("seed %d: task %d executed %d times", seed, k, rec.count[k])
+				return false
+			}
+			for _, p := range spec.Predecessors(k) {
+				if rec.seq[p] > rec.seq[k] {
+					t.Logf("seed %d: task %d before pred %d", seed, k, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ChaseLev-backed engine satisfies the same contract.
+func TestQuickRandomDAGsChaseLev(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec, sink, _, rec := randomDAG(seed, 5, 10, 6)
+		keys := reachable(spec, sink)
+		pol := NabbitCPolicy()
+		pol.UseChaseLev = true
+		pol.FirstStealMaxRounds = 2
+		st, err := Run(spec, sink, Options{Workers: 6, Policy: pol})
+		if err != nil || int(st.TotalNodes()) != len(keys) {
+			return false
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		for _, k := range keys {
+			if rec.count[k] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pinned workers (LockOSThread) must behave identically.
+func TestPinnedWorkers(t *testing.T) {
+	rec := newRecorder()
+	spec, sink, keys := layeredDAG(8, 24, rec, func(k Key) int { return int(k) % 4 })
+	st, err := Run(spec, sink, Options{
+		Workers:    4,
+		Policy:     NabbitCPolicy(),
+		PinWorkers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(st.TotalNodes()) != len(keys) {
+		t.Fatalf("executed %d, want %d", st.TotalNodes(), len(keys))
+	}
+	rec.verify(t, spec, keys)
+}
+
+// OnComplete must see every task exactly once, attributed to a valid
+// worker.
+func TestOnCompleteHook(t *testing.T) {
+	rec := newRecorder()
+	spec, sink, keys := layeredDAG(6, 20, rec, func(k Key) int { return int(k) % 4 })
+	var mu sync.Mutex
+	seen := map[Key]int{}
+	_, err := Run(spec, sink, Options{
+		Workers: 4,
+		Policy:  NabbitCPolicy(),
+		OnComplete: func(worker int, k Key) {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("bad worker id %d", worker)
+			}
+			mu.Lock()
+			seen[k]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("hook saw %d tasks, want %d", len(seen), len(keys))
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d reported %d times", k, c)
+		}
+	}
+}

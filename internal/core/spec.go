@@ -1,0 +1,172 @@
+// Package core implements Nabbit and NabbitC: dynamic task-graph
+// scheduling with optional locality-aware (colored) scheduling, the
+// primary contribution of "Locality-Aware Dynamic Task Graph Scheduling"
+// (Maglalang, Krishnamoorthy, Agrawal).
+//
+// A computation is a directed acyclic graph of tasks. Each task is named
+// by a Key and declares the keys of its predecessors; the graph is
+// explored on demand starting from a single sink task whose completion
+// ends the computation. Nabbit executes the graph with randomized work
+// stealing. NabbitC additionally lets the user assign each task a color —
+// the identity of the worker whose memory holds the task's data — and
+// biases scheduling so that workers preferentially execute tasks of their
+// own color via morphing continuations and colored steals, while
+// preserving Nabbit's asymptotic completion-time guarantees.
+//
+// The same graph state is driven by two engines: the real parallel engine
+// in this package (Run), and the deterministic virtual-time machine in
+// package sim used to reproduce the paper's 80-core experiments.
+package core
+
+import "nabbitc/internal/numa"
+
+// Key names a task. Keys are chosen by the application; the only
+// requirement is that distinct tasks have distinct keys.
+type Key int64
+
+// Spec describes a task graph to the scheduler. Implementations must be
+// safe for concurrent use: the scheduler calls these methods from all
+// workers.
+//
+// This is the Go rendering of the paper's DynamicNabbitNode abstract
+// class: Predecessors corresponds to the node's predecessor key list,
+// Compute to compute() (init() folds into node creation), and Color to the
+// color() function that is the single extension NabbitC asks of the user.
+type Spec interface {
+	// Predecessors returns the keys of the tasks that must complete
+	// before k may execute. It is called once per created node.
+	Predecessors(k Key) []Key
+	// Color returns the color of task k: the worker whose memory is the
+	// most efficient location to execute k. Colors outside the worker
+	// range are permitted (they disable locality for that task, which
+	// the Table III ablation exploits).
+	Color(k Key) int
+	// Compute performs the task. It runs exactly once per task, after
+	// all predecessors have computed.
+	Compute(k Key)
+}
+
+// Footprint describes the memory a task touches, for the simulator's cost
+// model. All byte counts are per task execution.
+type Footprint struct {
+	// Compute is location-independent work in abstract units.
+	Compute int64
+	// OwnBytes are homed at the task's own color (its input block).
+	OwnBytes int64
+	// PredBytes are homed at each predecessor's color; the simulator
+	// charges this amount once per predecessor edge.
+	PredBytes int64
+	// SpreadBytes are spread uniformly across all NUMA domains —
+	// irregular traffic no scheduler can localize (e.g. PageRank edge
+	// scatter).
+	SpreadBytes int64
+}
+
+// CostSpec is implemented by specs that can describe task footprints; the
+// simulator requires it, the real engine ignores it.
+type CostSpec interface {
+	Spec
+	// FootprintOf returns the memory/compute footprint of task k.
+	FootprintOf(k Key) Footprint
+}
+
+// HomeSpec is implemented by specs whose data placement differs from the
+// coloring reported to the scheduler. Color is the *hint* the scheduler
+// acts on; Home is where the data actually lives, which drives access
+// costs and remote-access accounting. For a correct coloring the two
+// coincide and specs need not implement this interface; the bad-coloring
+// ablation (Table II) reports wrong colors while the data stays put.
+type HomeSpec interface {
+	Spec
+	// Home returns the color whose memory actually holds task k's data.
+	Home(k Key) int
+}
+
+// HomeOf returns the true data home of task k: Home when the spec
+// implements HomeSpec, otherwise its color.
+func HomeOf(s Spec, k Key) int {
+	if hs, ok := s.(HomeSpec); ok {
+		return hs.Home(k)
+	}
+	return s.Color(k)
+}
+
+// Cost converts a footprint into virtual time for a task of color home
+// executed by a worker of color w, excluding per-node/per-edge scheduler
+// overheads (the engine charges those separately).
+func (f Footprint) Cost(m numa.CostModel, t numa.Topology, w, home int, npreds int, predColor func(i int) int) int64 {
+	c := int64(float64(f.Compute) * m.ComputeUnitCost)
+	c += m.AccessCost(t, w, home, f.OwnBytes)
+	if f.PredBytes > 0 {
+		for i := 0; i < npreds; i++ {
+			c += m.AccessCost(t, w, predColor(i), f.PredBytes)
+		}
+	}
+	c += m.SpreadAccessCost(t, f.SpreadBytes)
+	return c
+}
+
+// FuncSpec adapts plain functions to the Spec and CostSpec interfaces,
+// convenient for tests, examples, and benchmark definitions.
+type FuncSpec struct {
+	PredsFn     func(Key) []Key
+	ColorFn     func(Key) int
+	ComputeFn   func(Key)
+	FootprintFn func(Key) Footprint
+}
+
+// Predecessors implements Spec.
+func (s FuncSpec) Predecessors(k Key) []Key {
+	if s.PredsFn == nil {
+		return nil
+	}
+	return s.PredsFn(k)
+}
+
+// Color implements Spec.
+func (s FuncSpec) Color(k Key) int {
+	if s.ColorFn == nil {
+		return 0
+	}
+	return s.ColorFn(k)
+}
+
+// Compute implements Spec.
+func (s FuncSpec) Compute(k Key) {
+	if s.ComputeFn != nil {
+		s.ComputeFn(k)
+	}
+}
+
+// FootprintOf implements CostSpec.
+func (s FuncSpec) FootprintOf(k Key) Footprint {
+	if s.FootprintFn == nil {
+		return Footprint{Compute: 1}
+	}
+	return s.FootprintFn(k)
+}
+
+// Recolored wraps a spec, replacing its coloring — used by the bad- and
+// invalid-coloring ablations (Tables II and III) and by examples that
+// compare colorings.
+type Recolored struct {
+	Spec
+	ColorFn func(Key) int
+}
+
+// Color implements Spec using the replacement coloring.
+func (r Recolored) Color(k Key) int { return r.ColorFn(k) }
+
+// Home implements HomeSpec: recoloring changes the hint the scheduler
+// sees, not where the data was initialized — that mismatch is exactly why
+// a bad coloring hurts.
+func (r Recolored) Home(k Key) int { return HomeOf(r.Spec, k) }
+
+// FootprintOf forwards to the wrapped spec when it is a CostSpec; the
+// footprint of a task does not change when it is recolored.
+func (r Recolored) FootprintOf(k Key) Footprint {
+	if cs, ok := r.Spec.(CostSpec); ok {
+		return cs.FootprintOf(k)
+	}
+	return Footprint{Compute: 1}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"nabbitc/internal/numa"
+)
+
+// WorkerStats records one worker's activity during a run. All counters
+// are written only by the owning worker; read after the run completes.
+type WorkerStats struct {
+	// NodesExecuted counts tasks this worker computed.
+	NodesExecuted int64
+	// OwnColorNodes counts computed tasks whose color equals this
+	// worker's color exactly (stricter than same-domain).
+	OwnColorNodes int64
+	// Accesses tallies the paper's node-level locality metric: one
+	// access per executed node plus one per predecessor of each
+	// executed node, remote when the data's home color is in a
+	// different NUMA domain than this worker.
+	Accesses numa.AccessCounter
+
+	// StealsOK counts successful steals of any kind; ColoredStealsOK
+	// the subset that were colored.
+	StealsOK        int64
+	ColoredStealsOK int64
+	// StealAttempts counts all steal probes; ColoredAttempts the
+	// colored subset; ColoredMisses colored probes that found work of
+	// the wrong color (as opposed to an empty deque).
+	StealAttempts  int64
+	ColoredAttempts int64
+	ColoredMisses  int64
+	// FirstStealChecks is the number of colored probes made while
+	// enforcing the first colored steal — the paper's per-worker C term.
+	FirstStealChecks int64
+	// FirstStealForcedOK reports whether the enforced first colored
+	// steal succeeded (vs. giving up after FirstStealMaxRounds).
+	FirstStealForcedOK bool
+
+	// TimeToFirstWork is the wall-clock delay from run start until this
+	// worker first executed anything (Fig. 9's idle time).
+	TimeToFirstWork time.Duration
+	// IdleTime is total wall-clock time spent looking for work.
+	IdleTime time.Duration
+}
+
+// Stats aggregates a completed run.
+type Stats struct {
+	// Workers holds per-worker counters, indexed by worker id (= color).
+	Workers []WorkerStats
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// NodesCreated is the number of task-graph nodes materialized.
+	NodesCreated int
+	// Topology is the topology the run was accounted against.
+	Topology numa.Topology
+}
+
+// TotalNodes returns the number of tasks executed across all workers.
+func (s *Stats) TotalNodes() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].NodesExecuted
+	}
+	return n
+}
+
+// Accesses returns the merged locality counter.
+func (s *Stats) Accesses() numa.AccessCounter {
+	var a numa.AccessCounter
+	for i := range s.Workers {
+		a.Merge(s.Workers[i].Accesses)
+	}
+	return a
+}
+
+// RemotePercent returns the percentage of node-level accesses that were
+// remote.
+func (s *Stats) RemotePercent() float64 { return s.Accesses().RemotePercent() }
+
+// SuccessfulSteals returns total and colored successful steal counts.
+func (s *Stats) SuccessfulSteals() (total, colored int64) {
+	for i := range s.Workers {
+		total += s.Workers[i].StealsOK
+		colored += s.Workers[i].ColoredStealsOK
+	}
+	return
+}
+
+// AvgSuccessfulSteals returns successful steals per worker (Fig. 8's
+// y-axis).
+func (s *Stats) AvgSuccessfulSteals() float64 {
+	if len(s.Workers) == 0 {
+		return 0
+	}
+	total, _ := s.SuccessfulSteals()
+	return float64(total) / float64(len(s.Workers))
+}
+
+// StealAttempts returns the total number of steal probes.
+func (s *Stats) StealAttempts() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].StealAttempts
+	}
+	return n
+}
+
+// FirstStealChecks returns the total enforcement probes (ΣC).
+func (s *Stats) FirstStealChecks() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].FirstStealChecks
+	}
+	return n
+}
+
+// AvgTimeToFirstWork averages the per-worker delay until first work
+// (Fig. 9's y-axis).
+func (s *Stats) AvgTimeToFirstWork() time.Duration {
+	if len(s.Workers) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for i := range s.Workers {
+		total += s.Workers[i].TimeToFirstWork
+	}
+	return total / time.Duration(len(s.Workers))
+}

@@ -1,0 +1,155 @@
+package deque
+
+import "sync/atomic"
+
+// ChaseLev is the dynamic circular work-stealing deque of Chase and Lev
+// (SPAA'05), adapted to Go's memory model: buffer slots hold atomic
+// pointers so that a thief's racy read of a slot the owner concurrently
+// recycles is well-defined. Steals synchronize through a CAS on the top
+// index; the owner synchronizes with thieves only when taking the last
+// element.
+//
+// The colored-steal variant reads the candidate entry, tests its color
+// mask, and only then attempts the CAS; a failed CAS reports StealAbort so
+// the caller can count it as a contended (not color-missed) attempt.
+type ChaseLev[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clBuffer[T]]
+}
+
+type clBuffer[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[Entry[T]]
+}
+
+func newCLBuffer[T any](logSize uint) *clBuffer[T] {
+	n := int64(1) << logSize
+	return &clBuffer[T]{mask: n - 1, slots: make([]atomic.Pointer[Entry[T]], n)}
+}
+
+func (b *clBuffer[T]) get(i int64) *Entry[T]     { return b.slots[i&b.mask].Load() }
+func (b *clBuffer[T]) put(i int64, e *Entry[T])  { b.slots[i&b.mask].Store(e) }
+func (b *clBuffer[T]) size() int64               { return b.mask + 1 }
+
+// NewChaseLev returns an empty lock-free deque.
+func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {
+	logSize := uint(5)
+	for (int64(1) << logSize) < int64(capacityHint) {
+		logSize++
+	}
+	d := &ChaseLev[T]{}
+	d.buf.Store(newCLBuffer[T](logSize))
+	return d
+}
+
+// PushBottom adds an item at the bottom (owner only).
+func (d *ChaseLev[T]) PushBottom(e Entry[T]) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.size() {
+		// Grow: copy live window into a buffer twice the size.
+		nb := newCLBuffer[T](uint(log2(buf.size()) + 1))
+		for i := t; i < b; i++ {
+			nb.put(i, buf.get(i))
+		}
+		d.buf.Store(nb)
+		buf = nb
+	}
+	buf.put(b, &e)
+	d.bottom.Store(b + 1)
+}
+
+func log2(n int64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// PopBottom removes the newest item (owner only).
+func (d *ChaseLev[T]) PopBottom() (Entry[T], bool) {
+	var zero Entry[T]
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Deque was empty; restore.
+		d.bottom.Store(t)
+		return zero, false
+	}
+	e := buf.get(b)
+	if b > t {
+		return *e, true
+	}
+	// Last element: race with thieves via CAS on top.
+	ok := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !ok {
+		return zero, false
+	}
+	return *e, true
+}
+
+// StealTop removes the oldest item (any worker).
+func (d *ChaseLev[T]) StealTop() (Entry[T], StealOutcome) {
+	var zero Entry[T]
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return zero, StealEmpty
+	}
+	buf := d.buf.Load()
+	e := buf.get(t)
+	if e == nil {
+		// The owner is mid-push or the buffer was swapped under us;
+		// treat as a lost race.
+		return zero, StealAbort
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, StealAbort
+	}
+	return *e, StealOK
+}
+
+// StealTopColored removes the oldest item only if its color mask contains
+// color.
+func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
+	var zero Entry[T]
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return zero, StealEmpty
+	}
+	buf := d.buf.Load()
+	e := buf.get(t)
+	if e == nil {
+		return zero, StealAbort
+	}
+	if !e.Colors.Has(color) {
+		// Re-validate that the entry we inspected is still the top;
+		// if not, the miss verdict is stale and the caller should
+		// retry.
+		if d.top.Load() != t {
+			return zero, StealAbort
+		}
+		return zero, StealMiss
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, StealAbort
+	}
+	return *e, StealOK
+}
+
+// Len returns an advisory item count.
+func (d *ChaseLev[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,81 @@
+// Package deque implements work-stealing deques with per-item color tags.
+//
+// Workers push and pop work at the bottom (LIFO, preserving the depth-first
+// execution order that work-first scheduling depends on) while thieves
+// steal from the top (FIFO, taking the oldest — and in a depth-first
+// execution, usually the largest — piece of available work).
+//
+// The NabbitC extension to the Cilk Plus runtime pairs the work deque with
+// a "color deque": every stealable continuation carries a constant-size
+// membership array of the colors occurring inside it, so a thief can test
+// in O(1) whether a frame contains work of its preferred color before
+// committing to a steal. Here each deque item carries a colorset.Set,
+// which is the same structure without the parallel-array bookkeeping.
+//
+// Two implementations share the Queue interface: Mutex (a ring buffer
+// under a lock; the engine default — per-deque contention is a single
+// owner plus occasional thieves, so an uncontended lock costs a couple of
+// atomic operations, same as the lock-free path) and ChaseLev (the classic
+// dynamic circular work-stealing deque of Chase and Lev, provided for the
+// ablation comparing deque substrates).
+package deque
+
+import "nabbitc/internal/colorset"
+
+// StealOutcome describes the result of a steal attempt.
+type StealOutcome int
+
+const (
+	// StealOK: an item was stolen.
+	StealOK StealOutcome = iota
+	// StealEmpty: the victim deque had no items.
+	StealEmpty
+	// StealMiss: the victim's top item does not contain the thief's
+	// color (colored steals only).
+	StealMiss
+	// StealAbort: the attempt lost a race and should be retried
+	// elsewhere (lock-free implementation only).
+	StealAbort
+)
+
+// String returns a short name for the outcome.
+func (o StealOutcome) String() string {
+	switch o {
+	case StealOK:
+		return "ok"
+	case StealEmpty:
+		return "empty"
+	case StealMiss:
+		return "miss"
+	case StealAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is a deque element: a work item plus the set of task colors
+// reachable inside it.
+type Entry[T any] struct {
+	Value  T
+	Colors colorset.Set
+}
+
+// Queue is the owner/thief protocol shared by both deque implementations.
+// PushBottom and PopBottom may be called only by the owning worker;
+// StealTop and StealTopColored may be called by any worker concurrently.
+type Queue[T any] interface {
+	// PushBottom adds an item at the bottom (owner only).
+	PushBottom(e Entry[T])
+	// PopBottom removes and returns the most recently pushed item
+	// (owner only).
+	PopBottom() (Entry[T], bool)
+	// StealTop removes and returns the oldest item regardless of color.
+	StealTop() (Entry[T], StealOutcome)
+	// StealTopColored removes the oldest item only if its color set
+	// contains color.
+	StealTopColored(color int) (Entry[T], StealOutcome)
+	// Len returns the current number of items. It is advisory under
+	// concurrency.
+	Len() int
+}

@@ -1,0 +1,102 @@
+package deque
+
+import "sync"
+
+// Mutex is a lock-protected growable ring-buffer deque. It is the engine
+// default: the owner's push/pop and a thief's steal each take the lock
+// briefly, and per-deque contention in work stealing is low by design.
+type Mutex[T any] struct {
+	mu   sync.Mutex
+	buf  []Entry[T]
+	head int // index of the top (oldest) element
+	n    int // number of elements
+}
+
+// NewMutex returns an empty deque with the given initial capacity hint.
+func NewMutex[T any](capacity int) *Mutex[T] {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &Mutex[T]{buf: make([]Entry[T], capacity)}
+}
+
+func (d *Mutex[T]) grow() {
+	nb := make([]Entry[T], len(d.buf)*2)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// PushBottom adds an item at the bottom (newest end).
+func (d *Mutex[T]) PushBottom(e Entry[T]) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = e
+	d.n++
+	d.mu.Unlock()
+}
+
+// PopBottom removes the newest item.
+func (d *Mutex[T]) PopBottom() (Entry[T], bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		var zero Entry[T]
+		return zero, false
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	e := d.buf[i]
+	d.buf[i] = Entry[T]{} // release references
+	d.mu.Unlock()
+	return e, true
+}
+
+// StealTop removes the oldest item.
+func (d *Mutex[T]) StealTop() (Entry[T], StealOutcome) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		var zero Entry[T]
+		return zero, StealEmpty
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = Entry[T]{}
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return e, StealOK
+}
+
+// StealTopColored removes the oldest item only if its color set contains
+// color; otherwise it reports StealMiss and leaves the deque unchanged.
+func (d *Mutex[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
+	d.mu.Lock()
+	var zero Entry[T]
+	if d.n == 0 {
+		d.mu.Unlock()
+		return zero, StealEmpty
+	}
+	if !d.buf[d.head].Colors.Has(color) {
+		d.mu.Unlock()
+		return zero, StealMiss
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = Entry[T]{}
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return e, StealOK
+}
+
+// Len returns the number of items.
+func (d *Mutex[T]) Len() int {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	return n
+}

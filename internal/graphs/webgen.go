@@ -1,0 +1,177 @@
+package graphs
+
+import (
+	"fmt"
+
+	"nabbitc/internal/xrand"
+)
+
+// WebConfig parameterizes the synthetic web-crawl generator.
+type WebConfig struct {
+	// NV is the vertex (page) count.
+	NV int
+	// AvgOutDegree is the target mean out-degree.
+	AvgOutDegree float64
+	// OutSkew is the Zipf exponent of the out-degree distribution; the
+	// draw is over [1, MaxOutDegree]. Higher skew makes a few pages
+	// link out enormously (twitter-2010's signature).
+	OutSkew float64
+	// MaxOutDegree caps per-page out-degree.
+	MaxOutDegree int
+	// Locality is the probability an edge stays within LocalWindow of
+	// its source (URL-ordered crawls link mostly within their own
+	// site), making block coloring meaningful.
+	Locality float64
+	// LocalWindow is the half-width of the local-edge window.
+	LocalWindow int
+	// InSkew is the Zipf exponent for the popularity of global edge
+	// targets (hub pages attract most global links).
+	InSkew float64
+	// Hubs is the number of super-hub vertices whose out-degree is set
+	// directly to HubOutDegree, bypassing the Zipf draw. twitter-2010's
+	// defining feature — a handful of accounts following a large
+	// fraction of the graph — lives here.
+	Hubs int
+	// HubOutDegree is the out-degree assigned to each hub.
+	HubOutDegree int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is generable.
+func (c WebConfig) Validate() error {
+	if c.NV <= 1 {
+		return fmt.Errorf("graphs: NV = %d", c.NV)
+	}
+	if c.AvgOutDegree <= 0 {
+		return fmt.Errorf("graphs: AvgOutDegree = %v", c.AvgOutDegree)
+	}
+	if c.MaxOutDegree < 1 {
+		return fmt.Errorf("graphs: MaxOutDegree = %d", c.MaxOutDegree)
+	}
+	if c.Locality < 0 || c.Locality > 1 {
+		return fmt.Errorf("graphs: Locality = %v", c.Locality)
+	}
+	if c.LocalWindow < 1 {
+		return fmt.Errorf("graphs: LocalWindow = %d", c.LocalWindow)
+	}
+	if c.OutSkew <= 0 || c.InSkew <= 0 {
+		return fmt.Errorf("graphs: skews must be positive")
+	}
+	if c.Hubs < 0 || (c.Hubs > 0 && c.HubOutDegree < 1) {
+		return fmt.Errorf("graphs: Hubs = %d with HubOutDegree = %d", c.Hubs, c.HubOutDegree)
+	}
+	return nil
+}
+
+// UK2002 mimics uk-2002 at reduced scale: strong link locality, moderate
+// degree skew. The paper's original: 18M vertices, 298M edges (avg ~16.5).
+func UK2002(nv int) WebConfig {
+	return WebConfig{
+		NV: nv, AvgOutDegree: 16.5, OutSkew: 1.6, MaxOutDegree: max(nv/40, 64),
+		Locality: 0.97, LocalWindow: max(nv/64, 2), InSkew: 2.2, Seed: 2002,
+	}
+}
+
+// Twitter2010 mimics twitter-2010: much heavier degree skew ("much larger
+// maximum out-degree" per the paper) carried by super-hub accounts that
+// follow a large fraction of the graph, and minimal locality — a follower
+// graph has no URL ordering. Original: 41M vertices, 1.47G edges
+// (avg ~35.8, max out-degree in the millions).
+func Twitter2010(nv int) WebConfig {
+	return WebConfig{
+		NV: nv, AvgOutDegree: 35.8, OutSkew: 1.3, MaxOutDegree: max(nv/40, 64),
+		Locality: 0.15, LocalWindow: max(nv/64, 2), InSkew: 0.9,
+		Hubs: max(nv/2000, 2), HubOutDegree: nv / 4, Seed: 2010,
+	}
+}
+
+// UK2007 mimics uk-2007-05: the largest crawl, strong locality, moderate
+// skew. Original: 105M vertices, 3.74G edges (avg ~35.6).
+func UK2007(nv int) WebConfig {
+	return WebConfig{
+		NV: nv, AvgOutDegree: 35.6, OutSkew: 1.5, MaxOutDegree: max(nv/30, 64),
+		Locality: 0.97, LocalWindow: max(nv/64, 2), InSkew: 2.2, Seed: 2007,
+	}
+}
+
+// Generate builds a synthetic crawl. Determinism: the same config always
+// yields the same graph.
+func Generate(c WebConfig) (*CSR, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r := xrand.New(c.Seed)
+
+	// Out-degree per page: Zipf-distributed raw draws rescaled so the
+	// mean lands near AvgOutDegree. Draw raw values first, then scale.
+	maxOut := c.MaxOutDegree
+	if maxOut >= c.NV {
+		maxOut = c.NV - 1
+	}
+	zipfOut := xrand.NewZipf(r, maxOut, c.OutSkew)
+	raw := make([]int, c.NV)
+	var rawSum float64
+	for v := range raw {
+		raw[v] = zipfOut.Draw() + 1 // in [1, maxOut]
+		rawSum += float64(raw[v])
+	}
+	scale := c.AvgOutDegree * float64(c.NV) / rawSum
+	degs := make([]int, c.NV)
+	var total int64
+	for v := range degs {
+		d := int(float64(raw[v])*scale + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		if d > maxOut {
+			d = maxOut
+		}
+		degs[v] = d
+		total += int64(d)
+	}
+	// Super hubs: spread deterministically across the vertex range.
+	for h := 0; h < c.Hubs; h++ {
+		v := (h*2 + 1) * c.NV / (2 * c.Hubs)
+		hd := c.HubOutDegree
+		if hd >= c.NV {
+			hd = c.NV - 1
+		}
+		total += int64(hd - degs[v])
+		degs[v] = hd
+	}
+
+	// Global-target popularity: Zipf over a shuffled vertex order, so
+	// hub pages are spread across blocks rather than clustered at 0.
+	hubOrder := r.Perm(c.NV)
+	zipfIn := xrand.NewZipf(r, c.NV, c.InSkew)
+
+	g := &CSR{
+		Offsets: make([]int64, c.NV+1),
+		Edges:   make([]int32, 0, total),
+	}
+	for v := 0; v < c.NV; v++ {
+		for k := 0; k < degs[v]; k++ {
+			var dst int
+			if r.Float64() < c.Locality {
+				// Local edge: uniform within the window around v.
+				off := r.Intn(2*c.LocalWindow+1) - c.LocalWindow
+				dst = v + off
+				if dst < 0 {
+					dst += c.NV
+				}
+				if dst >= c.NV {
+					dst -= c.NV
+				}
+			} else {
+				dst = hubOrder[zipfIn.Draw()]
+			}
+			if dst == v {
+				dst = (dst + 1) % c.NV
+			}
+			g.Edges = append(g.Edges, int32(dst))
+		}
+		g.Offsets[v+1] = int64(len(g.Edges))
+	}
+	return g, nil
+}

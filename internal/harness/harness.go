@@ -1,0 +1,406 @@
+// Package harness drives the paper's experiments (Figures 6-9, Tables
+// I-III, plus ablations) on the simulated machine and renders the same
+// rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/omp"
+	"nabbitc/internal/sim"
+	"nabbitc/internal/simomp"
+	"nabbitc/internal/stats"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale selects benchmark sizes (default bench.ScaleDefault).
+	Scale bench.Scale
+	// Cores is the core-count sweep (default 1,2,4,10,20,40,60,80 — the
+	// paper's x-axis).
+	Cores []int
+	// Benchmarks restricts the suite (default: all of Table I).
+	Benchmarks []string
+	// Cost overrides the machine cost model.
+	Cost numa.CostModel
+	// CSV switches output to comma-separated values.
+	CSV bool
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Cores) == 0 {
+		c.Cores = []int{1, 2, 4, 10, 20, 40, 60, 80}
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = suite.Names()
+	}
+	if c.Cost == (numa.CostModel{}) {
+		c.Cost = numa.DefaultCostModel()
+	}
+	return c
+}
+
+// Experiments lists the runnable experiment names.
+func Experiments() []string {
+	return []string{"table1", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "ablate"}
+}
+
+// Run executes the named experiment ("all" runs everything).
+func Run(name string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	switch name {
+	case "table1":
+		return Table1(cfg)
+	case "fig6":
+		return Fig6(cfg)
+	case "fig7":
+		return Fig7(cfg)
+	case "fig8":
+		return Fig8(cfg)
+	case "fig9":
+		return Fig9(cfg)
+	case "table2":
+		return Table2(cfg)
+	case "table3":
+		return Table3(cfg)
+	case "ablate":
+		return Ablate(cfg)
+	case "all":
+		for _, e := range Experiments() {
+			if err := Run(e, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (have %v, all)", name, Experiments())
+	}
+}
+
+func (c Config) emit(caption string, t *stats.Table) {
+	fmt.Fprintf(c.Out, "\n== %s ==\n", caption)
+	if c.CSV {
+		io.WriteString(c.Out, t.CSV())
+	} else {
+		io.WriteString(c.Out, t.String())
+	}
+}
+
+func (c Config) suite() ([]bench.Benchmark, error) {
+	out := make([]bench.Benchmark, 0, len(c.Benchmarks))
+	for _, name := range c.Benchmarks {
+		b, err := suite.Build(name, c.Scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// serialTime returns the all-local single-worker virtual time (the
+// speedup denominator). Colors are taken from a single-worker model; the
+// footprints they produce are p-independent.
+func (c Config) serialTime(b bench.Benchmark) (int64, error) {
+	spec, sink := b.Model(1)
+	return sim.SerialTime(spec, sink, c.Cost)
+}
+
+// runTaskGraph runs benchmark b under the given policy on p simulated
+// cores.
+func (c Config) runTaskGraph(b bench.Benchmark, p int, pol core.Policy) (*sim.Result, error) {
+	spec, sink := b.Model(p)
+	return sim.Run(spec, sink, sim.Options{Workers: p, Policy: pol, Cost: c.Cost})
+}
+
+// runOMP runs the OpenMP formulation under the given schedule.
+func (c Config) runOMP(b bench.Benchmark, p int, sched omp.Schedule) (*simomp.Result, error) {
+	return simomp.Run(p, numa.Paper(p), c.Cost, sched, b.Sweeps(p))
+}
+
+// Table1 renders the benchmark configurations and serial times.
+func Table1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Benchmark", "Description", "Problem size", "Iterations",
+		"Task graph nodes", "Serial time (Mcycles)")
+	for _, b := range benches {
+		info := b.Info()
+		serial, err := cfg.serialTime(b)
+		if err != nil {
+			return err
+		}
+		t.AddRow(info.Name, info.Description, info.ProblemSize, info.Iterations,
+			info.Nodes, float64(serial)/1e6)
+	}
+	cfg.emit("Table I: benchmark configurations and serial execution time", t)
+	return nil
+}
+
+// Fig6 renders speedup-vs-cores for every benchmark under all four
+// schedulers.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		serial, err := cfg.serialTime(b)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("P", "OpenMP-static", "OpenMP-guided", "Nabbit", "NabbitC")
+		for _, p := range cfg.Cores {
+			st, err := cfg.runOMP(b, p, omp.Static)
+			if err != nil {
+				return err
+			}
+			gd, err := cfg.runOMP(b, p, omp.Guided)
+			if err != nil {
+				return err
+			}
+			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
+			if err != nil {
+				return err
+			}
+			t.AddRow(p,
+				float64(serial)/float64(st.Time),
+				float64(serial)/float64(gd.Time),
+				float64(serial)/float64(nb.Makespan),
+				float64(serial)/float64(nc.Makespan))
+		}
+		cfg.emit(fmt.Sprintf("Fig 6 (%s): speedup over serial", b.Info().Name), t)
+	}
+	return nil
+}
+
+// fig7Cores filters the sweep to >= 20 cores (below that the paper's
+// machine is a single NUMA domain).
+func fig7Cores(cores []int) []int {
+	var out []int
+	for _, p := range cores {
+		if p >= 20 {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{20, 40, 60, 80}
+	}
+	return out
+}
+
+// Fig7 renders the percentage of remote accesses.
+func Fig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		t := stats.NewTable("P", "NabbitC %remote", "Nabbit %remote", "OpenMP-static %remote")
+		for _, p := range fig7Cores(cfg.Cores) {
+			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
+			if err != nil {
+				return err
+			}
+			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			st, err := cfg.runOMP(b, p, omp.Static)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p, nc.RemotePercent(), nb.RemotePercent(), st.RemotePercent())
+		}
+		cfg.emit(fmt.Sprintf("Fig 7 (%s): %% accesses to remote NUMA domains", b.Info().Name), t)
+	}
+	return nil
+}
+
+// Fig8 renders average successful steals per worker.
+func Fig8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		t := stats.NewTable("P", "NabbitC steals/worker", "Nabbit steals/worker")
+		for _, p := range cfg.Cores {
+			if p < 2 {
+				continue
+			}
+			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
+			if err != nil {
+				return err
+			}
+			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			t.AddRow(p, nc.AvgSuccessfulSteals(), nb.AvgSuccessfulSteals())
+		}
+		cfg.emit(fmt.Sprintf("Fig 8 (%s): average successful steals", b.Info().Name), t)
+	}
+	return nil
+}
+
+// Fig9 renders the average idle time before first work (forced first
+// colored steal) for the heat benchmark, like the paper ("we observed
+// this time was the same for all benchmarks").
+func Fig9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	b, err := suite.Build("heat", cfg.Scale)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("P", "Avg time to first work (kcycles)", "First-steal checks (total)")
+	for _, p := range cfg.Cores {
+		nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
+		if err != nil {
+			return err
+		}
+		t.AddRow(p, float64(nc.AvgTimeToFirstWork())/1e3, nc.FirstStealChecks())
+	}
+	cfg.emit("Fig 9 (heat): idle time due to forcing the first colored steal", t)
+	return nil
+}
+
+// coloringTable renders NabbitC-with-altered-coloring speedup over Nabbit
+// for every benchmark at 20-80 cores (the shape of Tables II and III).
+func coloringTable(cfg Config, caption string, alter func(core.CostSpec, int) core.CostSpec) error {
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	header := []string{"P"}
+	for _, b := range benches {
+		header = append(header, b.Info().Name)
+	}
+	t := stats.NewTable(header...)
+	for _, p := range fig7Cores(cfg.Cores) {
+		row := []any{p}
+		for _, b := range benches {
+			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			spec, sink := b.Model(p)
+			altered := alter(spec, p)
+			nc, err := sim.Run(altered, sink, sim.Options{
+				Workers: p, Policy: core.NabbitCPolicy(), Cost: cfg.Cost,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, float64(nb.Makespan)/float64(nc.Makespan))
+		}
+		t.AddRow(row...)
+	}
+	cfg.emit(caption, t)
+	return nil
+}
+
+// Table2 is the bad-coloring ablation: valid colors pointing at the wrong
+// domain.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	return coloringTable(cfg,
+		"Table II: speedup of NabbitC over Nabbit under a bad (valid but wrong) coloring",
+		func(s core.CostSpec, p int) core.CostSpec { return bench.BadColoring(s, p) })
+}
+
+// Table3 is the invalid-coloring ablation: colors no worker owns, so all
+// colored steals fail.
+func Table3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	return coloringTable(cfg,
+		"Table III: speedup of NabbitC over Nabbit under an invalid coloring",
+		func(s core.CostSpec, _ int) core.CostSpec { return bench.InvalidColoring(s) })
+}
+
+// Ablate sweeps NabbitC's design knobs on heat and page-uk-2002: the
+// colored-steal attempt budget, the forced first colored steal, and the
+// machine's remote penalty.
+func Ablate(cfg Config) error {
+	cfg = cfg.withDefaults()
+	names := []string{"heat", "page-uk-2002"}
+	p := cfg.Cores[len(cfg.Cores)-1]
+	for _, name := range names {
+		b, err := suite.Build(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		serial, err := cfg.serialTime(b)
+		if err != nil {
+			return err
+		}
+
+		t := stats.NewTable("ColoredStealAttempts", "Speedup", "Remote %", "Steals/worker")
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			pol := core.NabbitCPolicy()
+			pol.ColoredStealAttempts = k
+			res, err := cfg.runTaskGraph(b, p, pol)
+			if err != nil {
+				return err
+			}
+			t.AddRow(k, float64(serial)/float64(res.Makespan), res.RemotePercent(),
+				res.AvgSuccessfulSteals())
+		}
+		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): colored-steal attempt budget", name, p), t)
+
+		t = stats.NewTable("ForceFirstColoredSteal", "Speedup", "Remote %", "First-steal checks")
+		for _, force := range []bool{true, false} {
+			pol := core.NabbitCPolicy()
+			pol.ForceFirstColoredSteal = force
+			res, err := cfg.runTaskGraph(b, p, pol)
+			if err != nil {
+				return err
+			}
+			t.AddRow(force, float64(serial)/float64(res.Makespan), res.RemotePercent(),
+				res.FirstStealChecks())
+		}
+		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): forced first colored steal", name, p), t)
+
+		t = stats.NewTable("RemotePenalty", "NabbitC speedup", "Nabbit speedup", "NabbitC/Nabbit")
+		for _, pen := range []float64{1.5, 2.5, 4.0} {
+			cost := cfg.Cost
+			cost.RemotePenalty = pen
+			c2 := cfg
+			c2.Cost = cost
+			serial2, err := c2.serialTime(b)
+			if err != nil {
+				return err
+			}
+			nc, err := c2.runTaskGraph(b, p, core.NabbitCPolicy())
+			if err != nil {
+				return err
+			}
+			nb, err := c2.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			t.AddRow(pen, float64(serial2)/float64(nc.Makespan),
+				float64(serial2)/float64(nb.Makespan),
+				float64(nb.Makespan)/float64(nc.Makespan))
+		}
+		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): NUMA remote penalty", name, p), t)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nabbitc/internal/bench"
+)
+
+func smallCfg(buf *bytes.Buffer) Config {
+	return Config{
+		Scale:      bench.ScaleSmall,
+		Cores:      []int{1, 4, 20},
+		Benchmarks: []string{"heat", "cg"},
+		Out:        buf,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, exp := range Experiments() {
+		var buf bytes.Buffer
+		cfg := smallCfg(&buf)
+		if exp == "ablate" {
+			cfg.Benchmarks = nil // ablate picks its own benchmarks
+		}
+		if err := Run(exp, cfg); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", smallCfg(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf)
+	cfg.Benchmarks = []string{"bogus"}
+	if err := Run("table1", cfg); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf)
+	cfg.CSV = true
+	if err := Run("table1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Benchmark,Description") {
+		t.Fatalf("no CSV header in output:\n%s", buf.String())
+	}
+}
+
+func TestFig6SpeedupShapes(t *testing.T) {
+	// The headline result at small scale: on heat at 20 cores, NabbitC
+	// must beat Nabbit. Parse nothing — re-run the pieces directly.
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf).withDefaults()
+	b, err := buildHeat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := cfg.serialTime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := cfg.runTaskGraph(b, 20, nabbitCPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := cfg.runTaskGraph(b, 20, nabbitPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNC := float64(serial) / float64(nc.Makespan)
+	sNB := float64(serial) / float64(nb.Makespan)
+	if sNC <= sNB {
+		t.Fatalf("NabbitC speedup %.2f not above Nabbit %.2f on heat/P=20", sNC, sNB)
+	}
+	if sNC < 5 {
+		t.Fatalf("NabbitC speedup %.2f unreasonably low at P=20", sNC)
+	}
+}

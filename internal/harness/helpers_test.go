@@ -1,0 +1,16 @@
+package harness
+
+import (
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
+)
+
+// Test helpers kept out of the main test file for readability.
+
+func buildHeat(cfg Config) (bench.Benchmark, error) {
+	return suite.Build("heat", cfg.Scale)
+}
+
+func nabbitCPolicy() core.Policy { return core.NabbitCPolicy() }
+func nabbitPolicy() core.Policy  { return core.NabbitPolicy() }

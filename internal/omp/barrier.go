@@ -1,0 +1,46 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a sense-reversing spin barrier, the standard HPC barrier for
+// fixed-size thread teams: each arrival decrements a counter; the last
+// arrival resets the counter and flips the global sense, releasing the
+// spinners. Unlike sync.WaitGroup it is reusable with no reinitialization
+// and has no wake-up syscalls on the fast path.
+type Barrier struct {
+	p     int
+	count atomic.Int32
+	sense atomic.Uint32
+	// local sense per worker, padded to avoid false sharing.
+	local []paddedBool
+}
+
+type paddedBool struct {
+	v uint32
+	_ [60]byte
+}
+
+// NewBarrier returns a barrier for p workers, identified by ids [0, p).
+func NewBarrier(p int) *Barrier {
+	b := &Barrier{p: p, local: make([]paddedBool, p)}
+	b.count.Store(int32(p))
+	return b
+}
+
+// Wait blocks worker w until all p workers have called Wait for this
+// phase.
+func (b *Barrier) Wait(w int) {
+	ls := b.local[w].v ^ 1
+	b.local[w].v = ls
+	if b.count.Add(-1) == 0 {
+		b.count.Store(int32(b.p))
+		b.sense.Store(ls)
+		return
+	}
+	for b.sense.Load() != ls {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,605 @@
+package sim
+
+import (
+	"fmt"
+
+	"nabbitc/internal/colorset"
+	"nabbitc/internal/core"
+	"nabbitc/internal/xrand"
+)
+
+// node is the simulator's task state. The simulator is single-threaded, so
+// no atomics are needed; the lifecycle (on-demand creation, join counter,
+// successor lists) mirrors core.Node exactly.
+type node struct {
+	key       core.Key
+	color     int
+	home      int
+	preds     []core.Key
+	predHomes []int
+	fp        core.Footprint
+	join      int
+	succs     []*node
+	computed  bool
+}
+
+type group struct {
+	color int
+	keys  []core.Key
+	nodes []*node
+}
+
+func (g group) size() int {
+	if g.keys != nil {
+		return len(g.keys)
+	}
+	return len(g.nodes)
+}
+
+type item struct {
+	owner  *node
+	groups []group
+}
+
+type entry struct {
+	it     item
+	colors colorset.Set
+}
+
+// wdeque is a single-threaded deque: owner pushes/pops at the tail,
+// thieves take from the head.
+type wdeque struct {
+	buf  []entry
+	head int
+}
+
+func (d *wdeque) len() int { return len(d.buf) - d.head }
+
+func (d *wdeque) pushBottom(e entry) { d.buf = append(d.buf, e) }
+
+func (d *wdeque) popBottom() (entry, bool) {
+	if d.len() == 0 {
+		return entry{}, false
+	}
+	e := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = entry{}
+	d.buf = d.buf[:len(d.buf)-1]
+	return e, true
+}
+
+func (d *wdeque) top() (entry, bool) {
+	if d.len() == 0 {
+		return entry{}, false
+	}
+	return d.buf[d.head], true
+}
+
+func (d *wdeque) stealTop() (entry, bool) {
+	if d.len() == 0 {
+		return entry{}, false
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = entry{}
+	d.head++
+	if d.head > 64 && d.head*2 > len(d.buf) {
+		// Compact to keep memory bounded.
+		d.buf = append(d.buf[:0], d.buf[d.head:]...)
+		d.head = 0
+	}
+	return e, true
+}
+
+type eventKind uint8
+
+const (
+	evComplete eventKind = iota
+	evSteal
+)
+
+type event struct {
+	at   int64
+	seq  int64 // FIFO tie-break for determinism
+	wid  int
+	kind eventKind
+}
+
+// eventHeap is a binary min-heap on (at, seq).
+type eventHeap struct {
+	evs    []event
+	nextSeq int64
+}
+
+func (h *eventHeap) push(at int64, wid int, kind eventKind) {
+	h.evs = append(h.evs, event{at: at, seq: h.nextSeq, wid: wid, kind: kind})
+	h.nextSeq++
+	i := len(h.evs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.evs[i], h.evs[p] = h.evs[p], h.evs[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.evs[i], h.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) pop() (event, bool) {
+	if len(h.evs) == 0 {
+		return event{}, false
+	}
+	top := h.evs[0]
+	last := len(h.evs) - 1
+	h.evs[0] = h.evs[last]
+	h.evs = h.evs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.evs) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.evs) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.evs[i], h.evs[smallest] = h.evs[smallest], h.evs[i]
+		i = smallest
+	}
+	return top, true
+}
+
+type worker struct {
+	id    int
+	color int
+	dq    wdeque
+	rng   *xrand.Rand
+	stats WorkerStats
+
+	firstStealPending bool
+	stealPhase        int
+	running           *node
+	completeAt        int64
+	startedWork       bool
+}
+
+type engine struct {
+	opts    Options
+	spec    core.CostSpec
+	nodes   map[core.Key]*node
+	workers []*worker
+	sinkKey core.Key
+	evq     eventHeap
+	done    bool
+	makespan int64
+	created int
+}
+
+// Run executes the task graph on the simulated machine and returns virtual
+// timing, steal, and locality statistics. Runs are deterministic: the same
+// spec, sink, and options produce identical results.
+func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		opts:    opts,
+		spec:    spec,
+		nodes:   make(map[core.Key]*node),
+		sinkKey: sink,
+	}
+	p := opts.Policy
+	e.workers = make([]*worker, opts.Workers)
+	for i := range e.workers {
+		e.workers[i] = &worker{
+			id:                i,
+			color:             i,
+			rng:               xrand.NewWorker(p.Seed, i),
+			firstStealPending: p.Colored && p.ForceFirstColoredSteal && i != 0,
+		}
+	}
+
+	// Worker 0 seeds the computation with the sink node at t = 0.
+	w0 := e.workers[0]
+	sinkNode, _ := e.getOrCreate(sink)
+	t := e.opts.Cost.NodeOverhead
+	w0.stats.BusyTime += e.opts.Cost.NodeOverhead
+	if len(sinkNode.preds) == 0 {
+		e.startExec(w0, t, sinkNode)
+	} else {
+		e.push(w0, item{owner: sinkNode, groups: e.groupKeys(sinkNode.preds)})
+		e.acquire(w0, t)
+	}
+	// All other workers begin hunting for work.
+	for _, w := range e.workers[1:] {
+		if opts.Workers > 1 {
+			e.evq.push(e.opts.Cost.StealAttemptCost, w.id, evSteal)
+		}
+	}
+
+	for !e.done {
+		ev, ok := e.evq.pop()
+		if !ok {
+			return nil, fmt.Errorf("sim: event queue drained before sink %d computed (dependence deadlock?)", sink)
+		}
+		w := e.workers[ev.wid]
+		switch ev.kind {
+		case evComplete:
+			e.complete(w, ev.at)
+		case evSteal:
+			e.stealAttempt(w, ev.at)
+		}
+	}
+
+	res := &Result{
+		Makespan:     e.makespan,
+		Workers:      make([]WorkerStats, len(e.workers)),
+		NodesCreated: e.created,
+		Topology:     opts.Topology,
+	}
+	for i, w := range e.workers {
+		if !w.startedWork {
+			w.stats.TimeToFirstWork = e.makespan
+		}
+		res.Workers[i] = w.stats
+	}
+	return res, nil
+}
+
+func (e *engine) getOrCreate(k core.Key) (*node, bool) {
+	if n, ok := e.nodes[k]; ok {
+		return n, false
+	}
+	preds := e.spec.Predecessors(k)
+	n := &node{
+		key:   k,
+		color: e.spec.Color(k),
+		home:  core.HomeOf(e.spec, k),
+		preds: preds,
+		fp:    e.spec.FootprintOf(k),
+		join:  len(preds),
+	}
+	if len(preds) > 0 {
+		n.predHomes = make([]int, len(preds))
+		for i, p := range preds {
+			n.predHomes[i] = core.HomeOf(e.spec, p)
+		}
+	}
+	e.nodes[k] = n
+	e.created++
+	return n, true
+}
+
+func (e *engine) groupKeys(keys []core.Key) []group {
+	if !e.opts.Policy.Colored || len(keys) <= 1 {
+		return []group{{keys: keys}}
+	}
+	index := make(map[int]int, 8)
+	var groups []group
+	for _, k := range keys {
+		c := e.spec.Color(k)
+		gi, ok := index[c]
+		if !ok {
+			gi = len(groups)
+			index[c] = gi
+			groups = append(groups, group{color: c})
+		}
+		groups[gi].keys = append(groups[gi].keys, k)
+	}
+	return groups
+}
+
+func (e *engine) groupNodes(nodes []*node) []group {
+	if !e.opts.Policy.Colored || len(nodes) <= 1 {
+		return []group{{nodes: nodes}}
+	}
+	index := make(map[int]int, 8)
+	var groups []group
+	for _, n := range nodes {
+		gi, ok := index[n.color]
+		if !ok {
+			gi = len(groups)
+			index[n.color] = gi
+			groups = append(groups, group{color: n.color})
+		}
+		groups[gi].nodes = append(groups[gi].nodes, n)
+	}
+	return groups
+}
+
+func (e *engine) push(w *worker, it item) {
+	s := colorset.New(len(e.workers))
+	for _, g := range it.groups {
+		if g.color >= 0 && g.color < len(e.workers) {
+			s.Add(g.color)
+		}
+	}
+	w.dq.pushBottom(entry{it: it, colors: s})
+}
+
+func containsColor(groups []group, color int) bool {
+	for _, g := range groups {
+		if g.color == color {
+			return true
+		}
+	}
+	return false
+}
+
+// interpret is the morphing-continuation interpreter in virtual time: it
+// performs the spawn_colors/spawn_nodes splits (pushing stealable
+// continuations) and resolves the leaf, returning the node the worker
+// should now execute (nil if the leaf only did bookkeeping) and the
+// advanced clock.
+func (e *engine) interpret(w *worker, t int64, it item) (*node, int64) {
+	groups := it.groups
+	total := 0
+	for _, g := range groups {
+		total += g.size()
+	}
+	if total == 0 {
+		return nil, t
+	}
+	colored := e.opts.Policy.Colored
+	for len(groups) > 1 {
+		mid := len(groups) / 2
+		first, second := groups[:mid], groups[mid:]
+		if colored && containsColor(second, w.color) && !containsColor(first, w.color) {
+			first, second = second, first
+		}
+		e.push(w, item{owner: it.owner, groups: second})
+		groups = first
+	}
+	g := groups[0]
+	if it.owner != nil {
+		keys := g.keys
+		for len(keys) > 1 {
+			mid := len(keys) / 2
+			e.push(w, item{owner: it.owner, groups: []group{{color: g.color, keys: keys[mid:]}}})
+			keys = keys[:mid]
+		}
+		return e.tryInitCompute(w, t, it.owner, keys[0])
+	}
+	nodes := g.nodes
+	for len(nodes) > 1 {
+		mid := len(nodes) / 2
+		e.push(w, item{groups: []group{{color: g.color, nodes: nodes[mid:]}}})
+		nodes = nodes[:mid]
+	}
+	return nodes[0], t
+}
+
+// tryInitCompute resolves one predecessor edge of owner, charging creation
+// and edge-check overheads.
+func (e *engine) tryInitCompute(w *worker, t int64, owner *node, pkey core.Key) (*node, int64) {
+	m := e.opts.Cost
+	pred, created := e.getOrCreate(pkey)
+	if created {
+		t += m.NodeOverhead
+		w.stats.BusyTime += m.NodeOverhead
+		pred.succs = append(pred.succs, owner)
+		if len(pred.preds) == 0 {
+			return pred, t
+		}
+		e.push(w, item{owner: pred, groups: e.groupKeys(pred.preds)})
+		return nil, t
+	}
+	t += m.EdgeOverhead
+	w.stats.BusyTime += m.EdgeOverhead
+	if !pred.computed {
+		pred.succs = append(pred.succs, owner)
+		return nil, t
+	}
+	owner.join--
+	if owner.join < 0 {
+		panic("sim: join counter went negative")
+	}
+	if owner.join == 0 {
+		return owner, t
+	}
+	return nil, t
+}
+
+// acquire drains the worker's own deque, interpreting items until one
+// yields a node to execute; with an empty deque the worker turns thief.
+func (e *engine) acquire(w *worker, t int64) {
+	for {
+		ent, ok := w.dq.popBottom()
+		if !ok {
+			if len(e.workers) == 1 {
+				panic("sim: single worker idle before completion (dependence deadlock)")
+			}
+			e.evq.push(t+e.opts.Cost.StealAttemptCost, w.id, evSteal)
+			return
+		}
+		n, t2 := e.interpret(w, t, ent.it)
+		t = t2
+		if n != nil {
+			e.startExec(w, t, n)
+			return
+		}
+	}
+}
+
+func (e *engine) nodeCost(w *worker, n *node) int64 {
+	return n.fp.Cost(e.opts.Cost, e.opts.Topology, w.color, n.home,
+		len(n.preds), func(i int) int { return n.predHomes[i] })
+}
+
+func (e *engine) startExec(w *worker, t int64, n *node) {
+	if !w.startedWork {
+		w.startedWork = true
+		w.stats.TimeToFirstWork = t
+	}
+	cost := e.nodeCost(w, n)
+	w.running = n
+	w.completeAt = t + cost
+	w.stats.BusyTime += cost
+	e.evq.push(t+cost, w.id, evComplete)
+}
+
+func (e *engine) complete(w *worker, t int64) {
+	n := w.running
+	w.running = nil
+	topo := e.opts.Topology
+	w.stats.NodesExecuted++
+	if n.color == w.color {
+		w.stats.OwnColorNodes++
+	}
+	w.stats.Accesses.Count(topo, w.color, n.home)
+	for _, ph := range n.predHomes {
+		w.stats.Accesses.Count(topo, w.color, ph)
+	}
+
+	if e.opts.OnComplete != nil {
+		e.opts.OnComplete(t, w.id, n.key)
+	}
+
+	n.computed = true
+	succs := n.succs
+	n.succs = nil
+	var ready []*node
+	for _, s := range succs {
+		s.join--
+		if s.join < 0 {
+			panic("sim: join counter went negative in notify")
+		}
+		if s.join == 0 {
+			ready = append(ready, s)
+		}
+	}
+	notifyOverhead := e.opts.Cost.EdgeOverhead * int64(len(succs))
+	t += notifyOverhead
+	w.stats.BusyTime += notifyOverhead
+
+	if n.key == e.sinkKey {
+		e.done = true
+		e.makespan = t
+		return
+	}
+	if len(ready) > 0 {
+		e.push(w, item{groups: e.groupNodes(ready)})
+	}
+	e.acquire(w, t)
+}
+
+// victim picks a random other worker.
+func (e *engine) victim(w *worker) *worker {
+	v := w.rng.Intn(len(e.workers) - 1)
+	if v >= w.id {
+		v++
+	}
+	return e.workers[v]
+}
+
+// anyStealable reports whether any deque currently holds an item.
+func (e *engine) anyStealable() bool {
+	for _, w := range e.workers {
+		if w.dq.len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// earliestCompletion returns the soonest pending task completion, or
+// (0, false) when no worker is executing.
+func (e *engine) earliestCompletion() (int64, bool) {
+	best := int64(0)
+	found := false
+	for _, w := range e.workers {
+		if w.running != nil && (!found || w.completeAt < best) {
+			best = w.completeAt
+			found = true
+		}
+	}
+	return best, found
+}
+
+// stealAttempt performs one probe under the stealing policy. The attempt
+// cost was charged when the event was scheduled.
+func (e *engine) stealAttempt(w *worker, t int64) {
+	if e.done {
+		return
+	}
+	p := e.opts.Policy
+	m := e.opts.Cost
+	v := e.victim(w)
+
+	colored := false
+	if w.firstStealPending {
+		colored = true
+	} else if p.Colored && w.stealPhase < p.ColoredStealAttempts {
+		colored = true
+	}
+
+	var ent entry
+	var ok bool
+	w.stats.StealAttempts++
+	if colored {
+		w.stats.ColoredAttempts++
+		if top, has := v.dq.top(); has {
+			if top.colors.Has(w.color) {
+				ent, ok = v.dq.stealTop()
+			} else {
+				w.stats.ColoredMisses++
+			}
+		}
+		if w.firstStealPending {
+			w.stats.FirstStealChecks++
+			if ok {
+				w.firstStealPending = false
+				w.stats.FirstStealForcedOK = true
+			} else if w.stats.FirstStealChecks >=
+				int64(p.FirstStealMaxRounds)*int64(len(e.workers)-1) {
+				// Give up the enforcement (bounded, see DESIGN.md §4).
+				w.firstStealPending = false
+			}
+		} else {
+			w.stealPhase++
+		}
+	} else {
+		ent, ok = v.dq.stealTop()
+		w.stealPhase = 0
+	}
+
+	if ok {
+		w.stats.StealsOK++
+		if colored {
+			w.stats.ColoredStealsOK++
+		}
+		t += m.StealSuccessCost
+		w.stats.BusyTime += m.StealSuccessCost
+		n, t2 := e.interpret(w, t, ent.it)
+		if n != nil {
+			e.startExec(w, t2, n)
+		} else {
+			e.acquire(w, t2)
+		}
+		return
+	}
+
+	// Failed probe: schedule the next one. If nothing is stealable
+	// anywhere, fast-forward to the next completion instead of grinding
+	// out empty probes (pure simulation-efficiency optimization: the
+	// probes it skips could not have succeeded).
+	next := t + m.StealAttemptCost
+	if !e.anyStealable() {
+		if c, busy := e.earliestCompletion(); busy && c+1 > next {
+			next = c + 1
+		} else if !busy {
+			panic("sim: all workers idle with empty deques before completion")
+		}
+	}
+	e.evq.push(next, w.id, evSteal)
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/xrand"
+)
+
+// randomDAG builds a pseudo-random layered DAG with random footprints and
+// colors (including invalid ones).
+func randomDAG(seed uint64, layers, width, workers int) (core.FuncSpec, core.Key) {
+	r := xrand.New(seed)
+	const stride = 1 << 16
+	key := func(l, i int) core.Key { return core.Key(l*stride + i) }
+
+	counts := make([]int, layers)
+	for l := range counts {
+		counts[l] = 1 + r.Intn(width)
+	}
+	preds := map[core.Key][]core.Key{}
+	colors := map[core.Key]int{}
+	fps := map[core.Key]core.Footprint{}
+	for l := 0; l < layers; l++ {
+		for i := 0; i < counts[l]; i++ {
+			k := key(l, i)
+			if r.Intn(10) == 0 {
+				colors[k] = -1
+			} else {
+				colors[k] = r.Intn(workers)
+			}
+			fps[k] = core.Footprint{
+				Compute:     int64(r.Intn(1000)),
+				OwnBytes:    int64(r.Intn(4000)),
+				PredBytes:   int64(r.Intn(64)),
+				SpreadBytes: int64(r.Intn(500)),
+			}
+			if l == 0 {
+				continue
+			}
+			fan := r.Intn(4)
+			for f := 0; f < fan; f++ {
+				pl := r.Intn(l)
+				preds[k] = append(preds[k], key(pl, r.Intn(counts[pl])))
+			}
+		}
+	}
+	sink := core.Key(layers * stride)
+	colors[sink] = 0
+	fps[sink] = core.Footprint{Compute: 1}
+	last := layers - 1
+	for i := 0; i < counts[last]; i++ {
+		preds[sink] = append(preds[sink], key(last, i))
+	}
+	return core.FuncSpec{
+		PredsFn:     func(k core.Key) []core.Key { return preds[k] },
+		ColorFn:     func(k core.Key) int { return colors[k] },
+		FootprintFn: func(k core.Key) core.Footprint { return fps[k] },
+	}, sink
+}
+
+// Property: on any random DAG, under any policy and worker count, the
+// simulator executes every reachable task exactly once, in dependence
+// order, deterministically, and within Theorem 1's (empirical) bound.
+func TestQuickSimRandomDAGs(t *testing.T) {
+	f := func(seed uint64, layersRaw, widthRaw, workersRaw uint8) bool {
+		layers := int(layersRaw)%5 + 2
+		width := int(widthRaw)%10 + 1
+		workers := int(workersRaw)%20 + 1
+
+		spec, sink := randomDAG(seed, layers, width, workers)
+		order, err := core.TopoOrder(spec, sink, 0)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		pol := core.NabbitCPolicy()
+		if seed%2 == 1 {
+			pol = core.NabbitPolicy()
+		}
+		pol.FirstStealMaxRounds = 2
+		pol.Seed = seed + 7
+
+		finished := map[core.Key]int{}
+		seq := 0
+		opts := Options{
+			Workers: workers,
+			Policy:  pol,
+			OnComplete: func(_ int64, _ int, k core.Key) {
+				finished[k] = seq
+				seq++
+			},
+		}
+		res, err := Run(spec, sink, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if int(res.TotalNodes()) != len(order) {
+			t.Logf("seed %d: executed %d, want %d", seed, res.TotalNodes(), len(order))
+			return false
+		}
+		for _, k := range order {
+			s, ok := finished[k]
+			if !ok {
+				t.Logf("seed %d: task %d never finished", seed, k)
+				return false
+			}
+			for _, p := range spec.Predecessors(k) {
+				if finished[p] > s {
+					t.Logf("seed %d: task %d before pred %d", seed, k, p)
+					return false
+				}
+			}
+		}
+		// Determinism: a second run (without the hook) must agree on
+		// makespan and per-worker stats.
+		res2, err := Run(spec, sink, Options{Workers: workers, Policy: pol})
+		if err != nil || res2.Makespan != res.Makespan {
+			t.Logf("seed %d: rerun makespan %d != %d", seed, res2.Makespan, res.Makespan)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan never beats the span nor the work/P of the same
+// graph (no free lunch from scheduling), on any random DAG.
+func TestQuickSimLowerBounds(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		workers := int(workersRaw)%16 + 1
+		spec, sink := randomDAG(seed, 4, 8, workers)
+		opts, err := (Options{Workers: workers, Policy: core.NabbitCPolicy()}).withDefaults()
+		if err != nil {
+			return false
+		}
+		t1, tinf, _, _, err := WorkSpan(spec, sink, opts.Cost)
+		if err != nil {
+			return false
+		}
+		res, err := Run(spec, sink, Options{Workers: workers, Policy: core.NabbitCPolicy()})
+		if err != nil {
+			return false
+		}
+		if res.Makespan < tinf {
+			t.Logf("seed %d: makespan %d below span %d", seed, res.Makespan, tinf)
+			return false
+		}
+		if res.Makespan*int64(workers) < t1 {
+			t.Logf("seed %d: superlinear (makespan %d, work %d, P %d)",
+				seed, res.Makespan, t1, workers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim is a deterministic discrete-event simulator of the machine
+// the paper evaluates on: P workers grouped into NUMA domains, executing a
+// Nabbit/NabbitC task graph under the same scheduling policies as the real
+// engine in package core, but in virtual time.
+//
+// The host running this reproduction is a small UMA box and Go gives no
+// control over thread placement, so wall-clock runs cannot exhibit the
+// paper's 80-core NUMA behaviour. The simulator substitutes for the
+// testbed (see DESIGN.md): task costs come from an explicit footprint +
+// cost model (local vs. remote byte costs), steals and scheduler
+// bookkeeping are charged virtual time, and every run is bit-for-bit
+// reproducible for a given seed. The scheduler logic — morphing
+// continuations, colored steals, the forced first colored steal — mirrors
+// core's engine decision for decision.
+package sim
+
+import (
+	"fmt"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+)
+
+// Options configures a simulated run.
+type Options struct {
+	// Workers is the simulated core count (the paper sweeps 1..80).
+	Workers int
+	// Policy selects Nabbit vs NabbitC, exactly as for the real engine.
+	Policy core.Policy
+	// Topology defaults to numa.Paper(Workers): domains of 10 cores.
+	Topology numa.Topology
+	// Cost defaults to numa.DefaultCostModel().
+	Cost numa.CostModel
+	// OnComplete, if set, is called at each task completion with the
+	// virtual completion time and the executing worker — the hook the
+	// harness uses to replay schedules and that tests use to verify
+	// dependence order.
+	OnComplete func(virtualTime int64, worker int, k core.Key)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Workers <= 0 {
+		return o, fmt.Errorf("sim: Workers = %d, need > 0", o.Workers)
+	}
+	if o.Topology == (numa.Topology{}) {
+		o.Topology = numa.Paper(o.Workers)
+	}
+	if o.Topology.Workers != o.Workers {
+		return o, fmt.Errorf("sim: topology describes %d workers, run has %d",
+			o.Topology.Workers, o.Workers)
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return o, err
+	}
+	if o.Cost == (numa.CostModel{}) {
+		o.Cost = numa.DefaultCostModel()
+	}
+	if err := o.Cost.Validate(); err != nil {
+		return o, err
+	}
+	o.Policy = policyWithDefaults(o.Policy)
+	return o, nil
+}
+
+func policyWithDefaults(p core.Policy) core.Policy {
+	if p.Colored && p.ColoredStealAttempts <= 0 {
+		p.ColoredStealAttempts = 4
+	}
+	if p.ForceFirstColoredSteal && p.FirstStealMaxRounds <= 0 {
+		p.FirstStealMaxRounds = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// WorkerStats are per-simulated-worker counters; times are virtual.
+type WorkerStats struct {
+	NodesExecuted   int64
+	OwnColorNodes   int64
+	Accesses        numa.AccessCounter
+	StealsOK        int64
+	ColoredStealsOK int64
+	StealAttempts   int64
+	ColoredAttempts int64
+	ColoredMisses   int64
+	// FirstStealChecks is the paper's per-worker C term.
+	FirstStealChecks   int64
+	FirstStealForcedOK bool
+	// TimeToFirstWork is virtual time until the worker first executed
+	// anything; workers that never worked report the makespan.
+	TimeToFirstWork int64
+	// BusyTime is virtual time spent executing tasks and scheduler
+	// bookkeeping; IdleTime is Makespan - BusyTime.
+	BusyTime int64
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Makespan is the virtual completion time of the sink task.
+	Makespan int64
+	// Workers holds per-worker counters indexed by color.
+	Workers []WorkerStats
+	// NodesCreated counts materialized task-graph nodes.
+	NodesCreated int
+	// Topology echoes the run's topology.
+	Topology numa.Topology
+}
+
+// TotalNodes returns the number of executed tasks.
+func (r *Result) TotalNodes() int64 {
+	var n int64
+	for i := range r.Workers {
+		n += r.Workers[i].NodesExecuted
+	}
+	return n
+}
+
+// Accesses merges the per-worker locality counters.
+func (r *Result) Accesses() numa.AccessCounter {
+	var a numa.AccessCounter
+	for i := range r.Workers {
+		a.Merge(r.Workers[i].Accesses)
+	}
+	return a
+}
+
+// RemotePercent returns the percentage of node-level accesses that were
+// remote (Fig. 7's y-axis).
+func (r *Result) RemotePercent() float64 { return r.Accesses().RemotePercent() }
+
+// SuccessfulSteals returns total and colored successful steals.
+func (r *Result) SuccessfulSteals() (total, colored int64) {
+	for i := range r.Workers {
+		total += r.Workers[i].StealsOK
+		colored += r.Workers[i].ColoredStealsOK
+	}
+	return
+}
+
+// AvgSuccessfulSteals returns successful steals per worker (Fig. 8).
+func (r *Result) AvgSuccessfulSteals() float64 {
+	if len(r.Workers) == 0 {
+		return 0
+	}
+	total, _ := r.SuccessfulSteals()
+	return float64(total) / float64(len(r.Workers))
+}
+
+// AvgTimeToFirstWork returns the mean virtual delay before first work
+// (Fig. 9).
+func (r *Result) AvgTimeToFirstWork() int64 {
+	if len(r.Workers) == 0 {
+		return 0
+	}
+	var total int64
+	for i := range r.Workers {
+		total += r.Workers[i].TimeToFirstWork
+	}
+	return total / int64(len(r.Workers))
+}
+
+// StealAttempts returns the total number of steal probes.
+func (r *Result) StealAttempts() int64 {
+	var n int64
+	for i := range r.Workers {
+		n += r.Workers[i].StealAttempts
+	}
+	return n
+}
+
+// FirstStealChecks returns the total enforcement probes (ΣC).
+func (r *Result) FirstStealChecks() int64 {
+	var n int64
+	for i := range r.Workers {
+		n += r.Workers[i].FirstStealChecks
+	}
+	return n
+}
+
+// SerialTime returns the virtual time a single worker with all data local
+// takes to execute the graph: the T1 baseline for speedup, matching the
+// paper's serial runs where a single thread first-touches all of its data.
+// Scheduler overheads are excluded, as a serial loop has none.
+func SerialTime(spec core.CostSpec, sink core.Key, m numa.CostModel) (int64, error) {
+	order, err := core.TopoOrder(spec, sink, 0)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, k := range order {
+		fp := spec.FootprintOf(k)
+		bytes := fp.OwnBytes + fp.SpreadBytes +
+			fp.PredBytes*int64(len(spec.Predecessors(k)))
+		total += int64(float64(fp.Compute)*m.ComputeUnitCost) +
+			int64(float64(bytes)*m.LocalByteCost)
+	}
+	return total, nil
+}

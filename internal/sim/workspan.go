@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+)
+
+// WorkSpan computes the two quantities Theorem 1 bounds completion time
+// with: the work T1 (total all-local execution time of every task, the
+// paper's Σ W(u) + O(|E|)) and the span T∞ (the most expensive
+// dependence path, Σ W(u) + O(M) along it), both in virtual cycles under
+// the given cost model. M is the node count of the longest path and d the
+// maximum in-degree — the remaining terms of the theorem's
+// O(T1/P + T∞ + M·lg d + lg(P/ε) + C) bound.
+func WorkSpan(spec core.CostSpec, sink core.Key, m numa.CostModel) (t1, tinf int64, longestPath, maxDegree int, err error) {
+	order, err := core.TopoOrder(spec, sink, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// pathCost[k] is the most expensive path ending at k, inclusive;
+	// pathLen[k] the node count of the longest (by count) such path.
+	pathCost := make(map[core.Key]int64, len(order))
+	pathLen := make(map[core.Key]int, len(order))
+	for _, k := range order {
+		preds := spec.Predecessors(k)
+		if len(preds) > maxDegree {
+			maxDegree = len(preds)
+		}
+		fp := spec.FootprintOf(k)
+		bytes := fp.OwnBytes + fp.SpreadBytes + fp.PredBytes*int64(len(preds))
+		execCost := int64(float64(fp.Compute)*m.ComputeUnitCost) +
+			int64(float64(bytes)*m.LocalByteCost)
+		t1 += execCost + m.NodeOverhead + m.EdgeOverhead*int64(len(preds))
+		// The span counts only execution costs: node/edge overheads are
+		// charged to whichever worker resolves them, which need not lie
+		// on the critical path (they appear in the theorem's separate
+		// O(M) and M·lg d terms).
+		var bestCost int64
+		bestLen := 0
+		for _, p := range preds {
+			if pathCost[p] > bestCost {
+				bestCost = pathCost[p]
+			}
+			if pathLen[p] > bestLen {
+				bestLen = pathLen[p]
+			}
+		}
+		pathCost[k] = bestCost + execCost
+		pathLen[k] = bestLen + 1
+		if pathCost[k] > tinf {
+			tinf = pathCost[k]
+		}
+		if pathLen[k] > longestPath {
+			longestPath = pathLen[k]
+		}
+	}
+	return t1, tinf, longestPath, maxDegree, nil
+}

@@ -1,0 +1,164 @@
+// Package simomp simulates OpenMP static and guided parallel-for loops in
+// virtual time on the numa machine model, mirroring package omp's chunking
+// math exactly. It provides the OPENMPSTATIC and OPENMPGUIDED baselines
+// for the figure reproductions at core counts the host cannot run.
+//
+// A benchmark is a sequence of sweeps (parallel-for loops separated by
+// barriers — the OpenMP rendering of iterative stencils and solvers).
+// Each iteration has a footprint and a home color (the worker whose
+// initialization loop first touched its data under the same static
+// schedule); the simulator charges local or remote byte costs depending on
+// which worker executes it, and tallies the same node-level locality
+// metric as the task-graph engines.
+package simomp
+
+import (
+	"fmt"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/omp"
+)
+
+// Iter describes one loop iteration to the machine model.
+type Iter struct {
+	// Home is the color whose memory holds the iteration's own block.
+	Home int
+	// Fp is the iteration's footprint; PredBytes is charged once per
+	// entry of NeighborHomes.
+	Fp core.Footprint
+	// NeighborHomes are the homes of neighbor blocks the iteration
+	// reads (stencil halos, matrix bands).
+	NeighborHomes []int
+}
+
+// Sweep is one parallel-for loop of N iterations; IterFn must be
+// deterministic.
+type Sweep struct {
+	N      int
+	IterFn func(i int) Iter
+}
+
+// Result of a simulated loop nest.
+type Result struct {
+	// Time is the virtual completion time: the sum over sweeps of the
+	// slowest worker's finish time (barrier semantics).
+	Time int64
+	// Accesses is the node-level locality tally (one access per
+	// iteration plus one per neighbor).
+	Accesses numa.AccessCounter
+	// PerWorker is each worker's total busy time, for load-balance
+	// inspection.
+	PerWorker []int64
+}
+
+// RemotePercent returns the percentage of remote accesses.
+func (r *Result) RemotePercent() float64 { return r.Accesses.RemotePercent() }
+
+// BarrierCost is the virtual cost charged to every worker per barrier,
+// covering arrival and release.
+const BarrierCost = 500
+
+// Run simulates the sweeps on p workers under the given schedule.
+func Run(p int, topo numa.Topology, m numa.CostModel, sched omp.Schedule, sweeps []Sweep) (*Result, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("simomp: p = %d", p)
+	}
+	if topo == (numa.Topology{}) {
+		topo = numa.Paper(p)
+	}
+	if topo.Workers != p {
+		return nil, fmt.Errorf("simomp: topology describes %d workers, run has %d", topo.Workers, p)
+	}
+	if m == (numa.CostModel{}) {
+		m = numa.DefaultCostModel()
+	}
+	res := &Result{PerWorker: make([]int64, p)}
+	for _, sw := range sweeps {
+		var sweepTime int64
+		switch sched {
+		case omp.Static:
+			sweepTime = runStatic(p, topo, m, sw, res)
+		case omp.Guided:
+			sweepTime = runGuided(p, topo, m, sw, res)
+		default:
+			return nil, fmt.Errorf("simomp: unknown schedule %d", sched)
+		}
+		res.Time += sweepTime + BarrierCost
+	}
+	return res, nil
+}
+
+// iterCost charges iteration it executed by worker w and tallies accesses.
+func iterCost(topo numa.Topology, m numa.CostModel, it Iter, w int, res *Result) int64 {
+	res.Accesses.Count(topo, w, it.Home)
+	for _, nh := range it.NeighborHomes {
+		res.Accesses.Count(topo, w, nh)
+	}
+	return it.Fp.Cost(m, topo, w, it.Home, len(it.NeighborHomes),
+		func(i int) int { return it.NeighborHomes[i] })
+}
+
+func runStatic(p int, topo numa.Topology, m numa.CostModel, sw Sweep, res *Result) int64 {
+	var max int64
+	for w := 0; w < p; w++ {
+		lo, hi := omp.StaticRange(sw.N, p, w)
+		var t int64
+		for i := lo; i < hi; i++ {
+			t += iterCost(topo, m, sw.IterFn(i), w, res)
+		}
+		res.PerWorker[w] += t
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// runGuided replays OpenMP's guided self-scheduling deterministically: the
+// worker that frees up earliest (ties to the lowest id) grabs the next
+// chunk of max(remaining/2P, 1) iterations.
+func runGuided(p int, topo numa.Topology, m numa.CostModel, sw Sweep, res *Result) int64 {
+	free := make([]int64, p) // next time each worker is free
+	next := 0
+	for next < sw.N {
+		// Earliest-free worker.
+		w := 0
+		for o := 1; o < p; o++ {
+			if free[o] < free[w] {
+				w = o
+			}
+		}
+		c := omp.GuidedChunk(sw.N-next, p)
+		var t int64
+		for i := next; i < next+c; i++ {
+			t += iterCost(topo, m, sw.IterFn(i), w, res)
+		}
+		free[w] += t
+		res.PerWorker[w] += t
+		next += c
+	}
+	var max int64
+	for _, f := range free {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// SerialTime returns the single-worker all-local execution time of the
+// sweeps: the T1 baseline.
+func SerialTime(m numa.CostModel, sweeps []Sweep) int64 {
+	var total int64
+	for _, sw := range sweeps {
+		for i := 0; i < sw.N; i++ {
+			it := sw.IterFn(i)
+			bytes := it.Fp.OwnBytes + it.Fp.SpreadBytes +
+				it.Fp.PredBytes*int64(len(it.NeighborHomes))
+			total += int64(float64(it.Fp.Compute)*m.ComputeUnitCost) +
+				int64(float64(bytes)*m.LocalByteCost)
+		}
+	}
+	return total
+}

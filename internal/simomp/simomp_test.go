@@ -1,0 +1,174 @@
+package simomp
+
+import (
+	"testing"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/omp"
+)
+
+// uniformSweep returns a sweep of n equal iterations homed at the static
+// owner for p workers (the matched-init pattern).
+func uniformSweep(n, p int, fp core.Footprint) Sweep {
+	return Sweep{N: n, IterFn: func(i int) Iter {
+		return Iter{Home: i * p / n, Fp: fp}
+	}}
+}
+
+var fp = core.Footprint{Compute: 100, OwnBytes: 1000}
+
+func TestStaticPerfectLocality(t *testing.T) {
+	// Matched init and compute loops: every access local (paper §V-B:
+	// OPENMPSTATIC incurs almost no remote accesses on regular codes).
+	p := 40
+	res, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Static,
+		[]Sweep{uniformSweep(4000, p, fp), uniformSweep(4000, p, fp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses.Remote != 0 {
+		t.Fatalf("static matched sweep has %d remote accesses", res.Accesses.Remote)
+	}
+}
+
+func TestGuidedLosesLocality(t *testing.T) {
+	// Guided scheduling ignores homes: on a multi-domain machine a
+	// substantial fraction of accesses must be remote.
+	p := 40
+	res, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Guided,
+		[]Sweep{uniformSweep(4000, p, fp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemotePercent() < 20 {
+		t.Fatalf("guided remote%% = %.1f, expected substantial", res.RemotePercent())
+	}
+}
+
+func TestStaticLoadImbalance(t *testing.T) {
+	// One expensive iteration block: static eats the full imbalance,
+	// guided splits it. Guided must finish the sweep faster even after
+	// paying remote costs.
+	p := 20
+	skewed := Sweep{N: 2000, IterFn: func(i int) Iter {
+		f := fp
+		if i < 100 {
+			f.Compute *= 200 // hot head block
+		}
+		return Iter{Home: i * p / 2000, Fp: f}
+	}}
+	static, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Static, []Sweep{skewed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Guided, []Sweep{skewed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guided.Time >= static.Time {
+		t.Fatalf("guided (%d) not faster than static (%d) on skewed load",
+			guided.Time, static.Time)
+	}
+}
+
+func TestStaticBalancedBeatsGuidedWithNUMA(t *testing.T) {
+	// On a regular workload, static's perfect locality must beat
+	// guided's remote traffic.
+	p := 40
+	sweeps := []Sweep{uniformSweep(4000, p, fp)}
+	static, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Static, sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Guided, sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Time >= guided.Time {
+		t.Fatalf("static (%d) not faster than guided (%d) on regular load",
+			static.Time, guided.Time)
+	}
+}
+
+func TestSpeedupScales(t *testing.T) {
+	serial := SerialTime(numa.DefaultCostModel(), []Sweep{uniformSweep(8000, 1, fp)})
+	for _, p := range []int{10, 40, 80} {
+		sweeps := []Sweep{uniformSweep(8000, p, fp)}
+		res, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Static, sweeps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := float64(serial) / float64(res.Time)
+		if speedup < float64(p)/2 {
+			t.Fatalf("P=%d: static speedup %.1f below P/2", p, speedup)
+		}
+	}
+}
+
+func TestNeighborAccounting(t *testing.T) {
+	// Iterations homed at 0 with a neighbor homed in another domain:
+	// even static incurs the neighbor's remote access.
+	p := 20
+	sweep := Sweep{N: 20, IterFn: func(i int) Iter {
+		return Iter{
+			Home:          i, // matched static owner (N == p)
+			Fp:            core.Footprint{Compute: 10, OwnBytes: 100, PredBytes: 50},
+			NeighborHomes: []int{(i + 10) % 20}, // other domain
+		}
+	}}
+	res, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Static, []Sweep{sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 own accesses local, 20 neighbor accesses remote.
+	if res.Accesses.Local != 20 || res.Accesses.Remote != 20 {
+		t.Fatalf("accesses = %+v, want 20 local / 20 remote", res.Accesses)
+	}
+}
+
+func TestGuidedDeterministic(t *testing.T) {
+	p := 16
+	sweeps := []Sweep{uniformSweep(3000, p, fp)}
+	a, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Guided, sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, numa.Paper(p), numa.DefaultCostModel(), omp.Guided, sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Accesses != b.Accesses {
+		t.Fatalf("guided simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(0, numa.Topology{}, numa.CostModel{}, omp.Static, nil); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Run(4, numa.Paper(8), numa.CostModel{}, omp.Static, nil); err == nil {
+		t.Fatal("mismatched topology accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Run(4, numa.Topology{}, numa.CostModel{}, omp.Static,
+		[]Sweep{uniformSweep(40, 4, fp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestSerialTimeMatchesHand(t *testing.T) {
+	sweeps := []Sweep{{N: 3, IterFn: func(i int) Iter {
+		return Iter{Home: 0, Fp: core.Footprint{Compute: 7, OwnBytes: 11, SpreadBytes: 2}}
+	}}}
+	got := SerialTime(numa.DefaultCostModel(), sweeps)
+	if want := int64(3 * (7 + 11 + 2)); got != want {
+		t.Fatalf("serial = %d, want %d", got, want)
+	}
+}

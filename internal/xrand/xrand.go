@@ -1,0 +1,133 @@
+// Package xrand provides small, fast, seedable pseudo-random number
+// generators for scheduler decisions.
+//
+// Work-stealing victim selection needs an RNG that is (a) cheap — a steal
+// attempt is a few dozen nanoseconds, so math/rand's locked global source
+// is unacceptable on the hot path — and (b) reproducible, so that the
+// discrete-event simulator produces bit-identical experiment tables across
+// runs. Each worker owns a private generator seeded from a master seed and
+// its worker id via SplitMix64, the standard seeding procedure for the
+// xoshiro family.
+package xrand
+
+// SplitMix64 advances the given state and returns the next output of the
+// SplitMix64 sequence. It is used to derive well-distributed seeds from
+// small integers.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New.
+// It is not safe for concurrent use — each worker owns its own Rand.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64. Any seed,
+// including 0, yields a valid non-degenerate state.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// NewWorker returns a generator for worker id derived from a master seed,
+// such that distinct ids get decorrelated streams.
+func NewWorker(master uint64, id int) *Rand {
+	s := master ^ (uint64(id)+1)*0x9e3779b97f4a7c15
+	return New(s)
+}
+
+// Seed reinitializes the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	for i := range r.s {
+		r.s[i] = SplitMix64(&seed)
+	}
+	// xoshiro requires a nonzero state; SplitMix64 of anything cannot
+	// produce four zero outputs, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift bounded generation avoids the modulo on the hot
+// path; the slight bias (< 2^-32 for n < 2^32) is irrelevant for victim
+// selection.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	hi, _ := mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// used by workload generators for synthetic service-time variation.
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse transform; fine for workload synthesis.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -ln(u)
+}
+
+// ln is a tiny wrapper so the package keeps a single external-math
+// dependency point.
+func ln(x float64) float64 { return mathLog(x) }
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
