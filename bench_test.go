@@ -96,6 +96,15 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
+// BenchmarkHier regenerates the hierarchical-stealing ablation.
+func BenchmarkHier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run("hier", harnessCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSim measures one simulated run of the named benchmark.
 func benchSim(b *testing.B, name string, p int, pol core.Policy) {
 	bm, err := suite.Build(name, bench.ScaleSmall)
@@ -115,6 +124,12 @@ func BenchmarkSimHeatNabbit80(b *testing.B)   { benchSim(b, "heat", 80, core.Nab
 func BenchmarkSimHeatNabbitC80(b *testing.B)  { benchSim(b, "heat", 80, core.NabbitCPolicy()) }
 func BenchmarkSimPageUKNabbitC80(b *testing.B) {
 	benchSim(b, "page-uk-2002", 80, core.NabbitCPolicy())
+}
+func BenchmarkSimHeatNabbitCHier80(b *testing.B) {
+	benchSim(b, "heat", 80, core.NabbitCHierPolicy())
+}
+func BenchmarkSimPageUKNabbitCHier80(b *testing.B) {
+	benchSim(b, "page-uk-2002", 80, core.NabbitCHierPolicy())
 }
 
 // BenchmarkSimOMP measures the simulated OpenMP loop baseline.
@@ -155,6 +170,24 @@ func BenchmarkRealHeatNabbitC(b *testing.B) {
 		r := stencil.Heat(bench.ScaleSmall).NewReal()
 		spec, sink := r.Spec(8)
 		if _, err := core.Run(spec, sink, core.Options{Workers: 8, Policy: core.NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealHeatNabbitCHier exercises the hierarchical steal protocol
+// wall-clock on host cores, with workers grouped into synthetic 2-core
+// sockets so the socket tiers engage.
+func BenchmarkRealHeatNabbitCHier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := stencil.Heat(bench.ScaleSmall).NewReal()
+		spec, sink := r.Spec(8)
+		_, err := core.Run(spec, sink, core.Options{
+			Workers:  8,
+			Policy:   core.NabbitCHierPolicy(),
+			Topology: numa.Topology{Workers: 8, CoresPerDomain: 2},
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,3 @@
+module nabbitc
+
+go 1.24

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nabbitc/internal/colorset"
 	"nabbitc/internal/deque"
 	"nabbitc/internal/xrand"
 )
@@ -31,6 +32,14 @@ type worker struct {
 	dq    deque.Queue[item]
 	rng   *xrand.Rand
 	stats WorkerStats
+
+	// socketLo/socketHi bound this worker's socket peers (half-open
+	// worker-id range) and socketMask holds the same range as a color
+	// mask; both precomputed from the topology for the hierarchical
+	// steal tiers.
+	socketLo   int
+	socketHi   int
+	socketMask colorset.Set
 
 	firstStealPending bool
 	startedWork       bool
@@ -61,12 +70,20 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 		} else {
 			dq = deque.NewMutex[item](64)
 		}
+		lo, hi := opts.Topology.SocketWorkers(i)
+		mask := colorset.New(opts.Workers)
+		for c := lo; c < hi; c++ {
+			mask.Add(c)
+		}
 		e.workers[i] = &worker{
 			id:                i,
 			color:             i,
 			e:                 e,
 			dq:                dq,
 			rng:               xrand.NewWorker(p.Seed, i),
+			socketLo:          lo,
+			socketHi:          hi,
+			socketMask:        mask,
 			firstStealPending: p.Colored && p.ForceFirstColoredSteal,
 		}
 	}
@@ -281,10 +298,57 @@ func (w *worker) victim() *worker {
 	return w.e.workers[v]
 }
 
+// socketVictim picks a random same-socket worker other than w; callers
+// ensure the socket holds at least two workers.
+func (w *worker) socketVictim() *worker {
+	v := w.socketLo + w.rng.Intn(w.socketHi-w.socketLo-1)
+	if v >= w.id {
+		v++
+	}
+	return w.e.workers[v]
+}
+
+// crossSocket reports whether v lives in a different socket than w.
+func (w *worker) crossSocket(v *worker) bool {
+	return v.id < w.socketLo || v.id >= w.socketHi
+}
+
+// attempt and hit account one steal probe / one successful steal of the
+// given tier on every counter that tracks it.
+func (w *worker) attempt(t StealTier, colored bool) {
+	w.stats.StealAttempts++
+	w.stats.TierAttempts[t]++
+	if colored {
+		w.stats.ColoredAttempts++
+	}
+}
+
+func (w *worker) hit(t StealTier, colored bool) {
+	w.stats.StealsOK++
+	w.stats.TierSteals[t]++
+	if colored {
+		w.stats.ColoredStealsOK++
+	}
+}
+
+// takeBatch accounts a successful batched steal and adopts every item
+// after the first into w's own deque; the first (oldest) is returned for
+// immediate execution.
+func (w *worker) takeBatch(ents []deque.Entry[item]) item {
+	w.stats.BatchOps++
+	w.stats.BatchItems += int64(len(ents))
+	for _, ent := range ents[1:] {
+		w.dq.PushBottom(ent)
+	}
+	return ents[0].Value
+}
+
 // findWork implements the stealing policy: while enforcing the first
 // colored steal, only colored attempts count (bounded by
-// FirstStealMaxRounds sweeps); afterwards, ColoredStealAttempts colored
-// probes precede each random steal. Idle time accrues here.
+// FirstStealMaxRounds sweeps); afterwards, the flat protocol makes
+// ColoredStealAttempts colored probes before each random steal, and the
+// hierarchical protocol walks the socket-tier victim order (see
+// Policy.Hierarchical). Idle time accrues here.
 func (w *worker) findWork() (item, bool) {
 	t0 := time.Now()
 	defer func() { w.stats.IdleTime += time.Since(t0) }()
@@ -302,15 +366,13 @@ func (w *worker) findWork() (item, bool) {
 		for !e.done.Load() {
 			v := w.victim()
 			w.stats.FirstStealChecks++
-			w.stats.StealAttempts++
-			w.stats.ColoredAttempts++
+			w.attempt(TierGlobalColored, true)
 			ent, out := v.dq.StealTopColored(w.color)
 			switch out {
 			case deque.StealOK:
 				w.firstStealPending = false
 				w.stats.FirstStealForcedOK = true
-				w.stats.StealsOK++
-				w.stats.ColoredStealsOK++
+				w.hit(TierGlobalColored, true)
 				return ent.Value, true
 			case deque.StealMiss:
 				w.stats.ColoredMisses++
@@ -326,16 +388,18 @@ func (w *worker) findWork() (item, bool) {
 		}
 	}
 
+	if p.Hierarchical {
+		return w.findWorkHier()
+	}
+
 	for !e.done.Load() {
 		if p.Colored {
 			for i := 0; i < p.ColoredStealAttempts; i++ {
 				v := w.victim()
-				w.stats.StealAttempts++
-				w.stats.ColoredAttempts++
+				w.attempt(TierGlobalColored, true)
 				ent, out := v.dq.StealTopColored(w.color)
 				if out == deque.StealOK {
-					w.stats.StealsOK++
-					w.stats.ColoredStealsOK++
+					w.hit(TierGlobalColored, true)
 					return ent.Value, true
 				}
 				if out == deque.StealMiss {
@@ -344,11 +408,114 @@ func (w *worker) findWork() (item, bool) {
 			}
 		}
 		v := w.victim()
-		w.stats.StealAttempts++
+		w.attempt(TierGlobalRandom, false)
 		ent, out := v.dq.StealTop()
 		if out == deque.StealOK {
-			w.stats.StealsOK++
+			w.hit(TierGlobalRandom, false)
 			return ent.Value, true
+		}
+		runtime.Gosched()
+	}
+	return item{}, false
+}
+
+// findWorkHier walks the two-level victim order: same-color and
+// socket-colored probes among socket peers, then socket-random, then the
+// global colored and random tiers with batched cross-socket steals.
+func (w *worker) findWorkHier() (item, bool) {
+	e := w.e
+	p := e.opts.Policy
+	// Socket tiers only make sense when the socket has peers AND is a
+	// strict subset of the machine; on a single-socket topology they
+	// would just duplicate the global tiers, so the protocol degenerates
+	// to the flat one there.
+	sockN := w.socketHi - w.socketLo
+	if sockN >= len(e.workers) {
+		sockN = 1
+	}
+	for !e.done.Load() {
+		if sockN > 1 && p.Colored {
+			// Tier 1: own color among socket peers.
+			for i := 0; i < p.OwnColorStealAttempts; i++ {
+				v := w.socketVictim()
+				w.attempt(TierOwnColor, true)
+				ent, out := v.dq.StealTopColored(w.color)
+				if out == deque.StealOK {
+					w.hit(TierOwnColor, true)
+					return ent.Value, true
+				}
+				if out == deque.StealMiss {
+					w.stats.ColoredMisses++
+				}
+			}
+			// Tier 2: any color homed in this socket, among socket peers.
+			for i := 0; i < p.SocketColoredAttempts; i++ {
+				v := w.socketVictim()
+				w.attempt(TierSocketColored, true)
+				ent, out := v.dq.StealTopMasked(w.socketMask)
+				if out == deque.StealOK {
+					w.hit(TierSocketColored, true)
+					return ent.Value, true
+				}
+				if out == deque.StealMiss {
+					w.stats.ColoredMisses++
+				}
+			}
+		}
+		if sockN > 1 {
+			// Tier 3: anything among socket peers.
+			for i := 0; i < p.SocketRandomAttempts; i++ {
+				v := w.socketVictim()
+				w.attempt(TierSocketRandom, false)
+				ent, out := v.dq.StealTop()
+				if out == deque.StealOK {
+					w.hit(TierSocketRandom, false)
+					return ent.Value, true
+				}
+			}
+		}
+		if p.Colored {
+			// Tier 4: exact color anywhere; cross-socket hits take a
+			// batch to amortize the remote visit.
+			for i := 0; i < p.ColoredStealAttempts; i++ {
+				v := w.victim()
+				w.attempt(TierGlobalColored, true)
+				if w.crossSocket(v) {
+					ents, out := v.dq.StealHalfColored(w.color, p.StealBatch)
+					if out == deque.StealOK {
+						w.hit(TierGlobalColored, true)
+						return w.takeBatch(ents), true
+					}
+					if out == deque.StealMiss {
+						w.stats.ColoredMisses++
+					}
+					continue
+				}
+				ent, out := v.dq.StealTopColored(w.color)
+				if out == deque.StealOK {
+					w.hit(TierGlobalColored, true)
+					return ent.Value, true
+				}
+				if out == deque.StealMiss {
+					w.stats.ColoredMisses++
+				}
+			}
+		}
+		// Tier 5: anything anywhere; cross-socket steals batch.
+		v := w.victim()
+		w.attempt(TierGlobalRandom, false)
+		if w.crossSocket(v) {
+			ents, out := v.dq.StealHalf(p.StealBatch)
+			if out == deque.StealOK {
+				w.hit(TierGlobalRandom, false)
+				return w.takeBatch(ents), true
+			}
+		} else {
+			ent, out := v.dq.StealTop()
+			if out == deque.StealOK {
+				w.hit(TierGlobalRandom, false)
+				return ent.Value, true
+			}
 		}
 		runtime.Gosched()
 	}

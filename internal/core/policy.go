@@ -33,6 +33,40 @@ type Policy struct {
 	// Seed drives victim selection; runs with equal seeds and worker
 	// counts make identical scheduling decisions in the simulator.
 	Seed uint64
+
+	// Hierarchical extends the flat colored-steal protocol with the
+	// machine's socket structure. An idle worker walks a two-level victim
+	// order, each tier with its own attempt budget, before falling back
+	// to a random steal:
+	//
+	//	1. same-color:         same-socket victims, top item must contain
+	//	                       this worker's exact color
+	//	2. same-socket colored: same-socket victims, top item must contain
+	//	                       any color homed in this worker's socket
+	//	3. same-socket random:  same-socket victims, any top item
+	//	4. global colored:      any victim, exact color (budget:
+	//	                       ColoredStealAttempts)
+	//	5. global random:       any victim, any item
+	//
+	// Steals in tiers 4-5 whose victim sits in another socket are batched
+	// (steal-half, capped by StealBatch) to amortize remote-steal
+	// latency. On a single-socket topology (the socket spans the whole
+	// machine) tiers 1-3 are skipped and the protocol degenerates to the
+	// flat one. The colored tiers (1, 2, 4) additionally require
+	// Colored.
+	Hierarchical bool
+	// OwnColorStealAttempts is the tier-1 budget: same-socket probes for
+	// the worker's exact color.
+	OwnColorStealAttempts int
+	// SocketColoredAttempts is the tier-2 budget: same-socket probes for
+	// any color belonging to the worker's socket.
+	SocketColoredAttempts int
+	// SocketRandomAttempts is the tier-3 budget: color-oblivious probes
+	// confined to same-socket victims.
+	SocketRandomAttempts int
+	// StealBatch caps how many items one batched cross-socket steal may
+	// take (the steal takes min(ceil(len/2), StealBatch) items).
+	StealBatch int
 }
 
 // NabbitPolicy returns plain Nabbit: random stealing, color-oblivious.
@@ -53,13 +87,45 @@ func NabbitCPolicy() Policy {
 	}
 }
 
+// NabbitCHierPolicy returns NabbitC extended with the hierarchical
+// (socket-tier) steal protocol and batched cross-socket steals.
+func NabbitCHierPolicy() Policy {
+	p := NabbitCPolicy()
+	p.Hierarchical = true
+	p.OwnColorStealAttempts = 2
+	p.SocketColoredAttempts = 2
+	p.SocketRandomAttempts = 2
+	p.StealBatch = 8
+	return p
+}
+
 // withDefaults fills unset tunables.
-func (p Policy) withDefaults() Policy {
+func (p Policy) withDefaults() Policy { return p.WithDefaults() }
+
+// WithDefaults returns the policy with unset tunables filled in, exactly
+// as the engines apply it. Both the real engine and the simulator
+// normalize through this single function so their interpretations of a
+// policy can never drift apart.
+func (p Policy) WithDefaults() Policy {
 	if p.Colored && p.ColoredStealAttempts <= 0 {
 		p.ColoredStealAttempts = 4
 	}
 	if p.ForceFirstColoredSteal && p.FirstStealMaxRounds <= 0 {
 		p.FirstStealMaxRounds = 64
+	}
+	if p.Hierarchical {
+		if p.OwnColorStealAttempts <= 0 {
+			p.OwnColorStealAttempts = 2
+		}
+		if p.SocketColoredAttempts <= 0 {
+			p.SocketColoredAttempts = 2
+		}
+		if p.SocketRandomAttempts <= 0 {
+			p.SocketRandomAttempts = 2
+		}
+		if p.StealBatch <= 0 {
+			p.StealBatch = 8
+		}
 	}
 	if p.Seed == 0 {
 		p.Seed = 1

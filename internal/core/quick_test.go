@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nabbitc/internal/numa"
 	"nabbitc/internal/xrand"
 )
 
@@ -87,7 +88,14 @@ func TestQuickRandomDAGs(t *testing.T) {
 		pol.Colored = colored
 		pol.FirstStealMaxRounds = 2
 		pol.Seed = seed + 1
-		st, err := Run(spec, sink, Options{Workers: workers, Policy: pol})
+		var topo numa.Topology
+		if seed%3 == 0 {
+			// Hierarchical protocol on a synthetic two-core-per-socket
+			// topology (multi-socket whenever workers > 2).
+			pol.Hierarchical = true
+			topo = numa.Topology{Workers: workers, CoresPerDomain: 2}
+		}
+		st, err := Run(spec, sink, Options{Workers: workers, Policy: pol, Topology: topo})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -140,6 +148,116 @@ func TestQuickRandomDAGsChaseLev(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: the two deque substrates are interchangeable. For any random
+// DAG and policy — flat or hierarchical — runs with UseChaseLev on and off
+// compute the same task set (every reachable task exactly once, in
+// dependence order) and report identical NodesExecuted totals.
+func TestQuickCrossSubstrateEquivalence(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		workers := int(workersRaw)%7 + 2
+		var topo numa.Topology
+		pol := NabbitCPolicy()
+		switch seed % 3 {
+		case 0:
+			// flat NabbitC
+		case 1:
+			pol = NabbitPolicy()
+		default:
+			pol = NabbitCHierPolicy()
+			topo = numa.Topology{Workers: workers, CoresPerDomain: 2}
+		}
+		pol.FirstStealMaxRounds = 2
+		pol.Seed = seed + 3
+
+		var totals [2]int64
+		for i, chaselev := range []bool{false, true} {
+			spec, sink, _, rec := randomDAG(seed, 5, 10, workers)
+			keys := reachable(spec, sink)
+			p := pol
+			p.UseChaseLev = chaselev
+			st, err := Run(spec, sink, Options{Workers: workers, Policy: p, Topology: topo})
+			if err != nil {
+				t.Logf("seed %d chaselev=%v: %v", seed, chaselev, err)
+				return false
+			}
+			totals[i] = st.TotalNodes()
+			if int(totals[i]) != len(keys) {
+				t.Logf("seed %d chaselev=%v: executed %d, want %d",
+					seed, chaselev, totals[i], len(keys))
+				return false
+			}
+			rec.mu.Lock()
+			for _, k := range keys {
+				if rec.count[k] != 1 {
+					rec.mu.Unlock()
+					t.Logf("seed %d chaselev=%v: task %d executed %d times",
+						seed, chaselev, k, rec.count[k])
+					return false
+				}
+				for _, pk := range spec.Predecessors(k) {
+					if rec.seq[pk] > rec.seq[k] {
+						rec.mu.Unlock()
+						t.Logf("seed %d chaselev=%v: task %d before pred %d",
+							seed, chaselev, k, pk)
+						return false
+					}
+				}
+			}
+			rec.mu.Unlock()
+		}
+		if totals[0] != totals[1] {
+			t.Logf("seed %d: substrates computed %d vs %d nodes", seed, totals[0], totals[1])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hierarchical engine must complete correctly on a multi-socket
+// topology with the ChaseLev substrate under heavy stealing pressure, and
+// its tier counters must reconcile with the aggregate steal counters.
+func TestHierRealEngineTierAccounting(t *testing.T) {
+	for _, chaselev := range []bool{false, true} {
+		rec := newRecorder()
+		spec, sink, keys := layeredDAG(10, 40, rec, func(k Key) int { return int(k) % 8 })
+		pol := NabbitCHierPolicy()
+		pol.UseChaseLev = chaselev
+		st, err := Run(spec, sink, Options{
+			Workers:  8,
+			Policy:   pol,
+			Topology: numa.Topology{Workers: 8, CoresPerDomain: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(st.TotalNodes()) != len(keys) {
+			t.Fatalf("chaselev=%v: executed %d, want %d", chaselev, st.TotalNodes(), len(keys))
+		}
+		at, ts := st.TierAttempts(), st.TierSteals()
+		var atSum, tsSum int64
+		for tier := StealTier(0); tier < NumStealTiers; tier++ {
+			atSum += at[tier]
+			tsSum += ts[tier]
+			if ts[tier] > at[tier] {
+				t.Fatalf("chaselev=%v tier %v: %d steals exceed %d attempts",
+					chaselev, tier, ts[tier], at[tier])
+			}
+		}
+		if atSum != st.StealAttempts() {
+			t.Fatalf("chaselev=%v: tier attempts %d != StealAttempts %d",
+				chaselev, atSum, st.StealAttempts())
+		}
+		total, _ := st.SuccessfulSteals()
+		if tsSum != total {
+			t.Fatalf("chaselev=%v: tier steals %d != StealsOK %d", chaselev, tsSum, total)
+		}
+		rec.verify(t, spec, keys)
 	}
 }
 

@@ -37,6 +37,17 @@ type WorkerStats struct {
 	// steal succeeded (vs. giving up after FirstStealMaxRounds).
 	FirstStealForcedOK bool
 
+	// TierAttempts and TierSteals break the steal probes down by
+	// hierarchy tier (TierSteals counts batched steals once, regardless
+	// of batch size). Flat-policy probes land in the global tiers.
+	TierAttempts [NumStealTiers]int64
+	TierSteals   [NumStealTiers]int64
+	// BatchOps counts successful batched (steal-half) operations;
+	// BatchItems the total items those batches returned. BatchItems /
+	// BatchOps is the mean realized batch size.
+	BatchOps   int64
+	BatchItems int64
+
 	// TimeToFirstWork is the wall-clock delay from run start until this
 	// worker first executed anything (Fig. 9's idle time).
 	TimeToFirstWork time.Duration
@@ -113,6 +124,65 @@ func (s *Stats) FirstStealChecks() int64 {
 		n += s.Workers[i].FirstStealChecks
 	}
 	return n
+}
+
+// TierAttempts returns the per-tier steal probe totals.
+func (s *Stats) TierAttempts() [NumStealTiers]int64 {
+	var out [NumStealTiers]int64
+	for i := range s.Workers {
+		for t := range out {
+			out[t] += s.Workers[i].TierAttempts[t]
+		}
+	}
+	return out
+}
+
+// TierSteals returns the per-tier successful steal totals (batched steals
+// count once).
+func (s *Stats) TierSteals() [NumStealTiers]int64 {
+	var out [NumStealTiers]int64
+	for i := range s.Workers {
+		for t := range out {
+			out[t] += s.Workers[i].TierSteals[t]
+		}
+	}
+	return out
+}
+
+// TierHitRate returns the fraction of tier t's probes that stole work, or
+// 0 when the tier was never tried.
+func (s *Stats) TierHitRate(t StealTier) float64 {
+	a, ok := s.TierAttempts(), s.TierSteals()
+	if a[t] == 0 {
+		return 0
+	}
+	return float64(ok[t]) / float64(a[t])
+}
+
+// SocketStealPercent returns the percentage of successful steals served
+// from a same-socket victim (tiers 1-3), or 0 with no steals.
+func (s *Stats) SocketStealPercent() float64 {
+	st := s.TierSteals()
+	sock := st[TierOwnColor] + st[TierSocketColored] + st[TierSocketRandom]
+	total := sock + st[TierGlobalColored] + st[TierGlobalRandom]
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(sock) / float64(total)
+}
+
+// AvgBatchSize returns the mean number of items taken per batched steal,
+// or 0 when no batched steal succeeded.
+func (s *Stats) AvgBatchSize() float64 {
+	var ops, items int64
+	for i := range s.Workers {
+		ops += s.Workers[i].BatchOps
+		items += s.Workers[i].BatchItems
+	}
+	if ops == 0 {
+		return 0
+	}
+	return float64(items) / float64(ops)
 }
 
 // AvgTimeToFirstWork averages the per-worker delay until first work

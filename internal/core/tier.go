@@ -1,0 +1,52 @@
+package core
+
+// StealTier identifies one rung of the hierarchical victim order (see
+// Policy.Hierarchical). The flat protocol's probes are accounted under the
+// global tiers, so tier counters are comparable across policies.
+type StealTier int
+
+const (
+	// TierOwnColor: same-socket victim, top item contains the thief's
+	// exact color.
+	TierOwnColor StealTier = iota
+	// TierSocketColored: same-socket victim, top item contains any color
+	// homed in the thief's socket.
+	TierSocketColored
+	// TierSocketRandom: same-socket victim, any item.
+	TierSocketRandom
+	// TierGlobalColored: any victim, thief's exact color (the flat
+	// protocol's colored probe).
+	TierGlobalColored
+	// TierGlobalRandom: any victim, any item (the flat protocol's random
+	// steal; batched when the victim is cross-socket under Hierarchical).
+	TierGlobalRandom
+	// NumStealTiers sizes per-tier counter arrays.
+	NumStealTiers
+)
+
+// String names the tier.
+func (t StealTier) String() string {
+	switch t {
+	case TierOwnColor:
+		return "own-color"
+	case TierSocketColored:
+		return "socket-colored"
+	case TierSocketRandom:
+		return "socket-random"
+	case TierGlobalColored:
+		return "global-colored"
+	case TierGlobalRandom:
+		return "global-random"
+	default:
+		return "unknown"
+	}
+}
+
+// TierNames returns the display names of all tiers in order.
+func TierNames() []string {
+	out := make([]string, NumStealTiers)
+	for t := StealTier(0); t < NumStealTiers; t++ {
+		out[t] = t.String()
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package deque
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"nabbitc/internal/colorset"
+)
 
 // ChaseLev is the dynamic circular work-stealing deque of Chase and Lev
 // (SPAA'05), adapted to Go's memory model: buffer slots hold atomic
@@ -143,6 +147,93 @@ func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 		return zero, StealAbort
 	}
 	return *e, StealOK
+}
+
+// StealTopMasked removes the oldest item only if its color mask intersects
+// mask.
+func (d *ChaseLev[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome) {
+	var zero Entry[T]
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return zero, StealEmpty
+	}
+	buf := d.buf.Load()
+	e := buf.get(t)
+	if e == nil {
+		return zero, StealAbort
+	}
+	if !e.Colors.Intersects(mask) {
+		// Same stale-verdict re-validation as StealTopColored.
+		if d.top.Load() != t {
+			return zero, StealAbort
+		}
+		return zero, StealMiss
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, StealAbort
+	}
+	return *e, StealOK
+}
+
+// StealHalf removes up to min(ceil(n/2), max) of the oldest items during a
+// single victim visit.
+//
+// Unlike the mutex deque this is NOT one atomic multi-item pop, and it
+// cannot soundly be one: a batch CAS of top from t to t+k (after reading
+// slots t..t+k-1) would race with the owner's PopBottom, which
+// synchronizes with thieves through top only when it takes the LAST
+// element (bottom-1 == top). While the thief holds its candidate range the
+// owner may pop elements inside (t, t+k) from the bottom without ever
+// touching top, so the thief's CAS would retroactively claim items the
+// owner already executed — duplicated work. Instead the batch is taken as
+// up to k independent single-element CASes, each individually
+// linearizable; the batch still amortizes the thief's victim scan and
+// remote cache-miss latency over one visit, which is what the cross-socket
+// protocol needs. A lost race or emptied deque mid-batch simply ends the
+// batch early.
+func (d *ChaseLev[T]) StealHalf(max int) ([]Entry[T], StealOutcome) {
+	n := d.bottom.Load() - d.top.Load()
+	if n <= 0 {
+		return nil, StealEmpty
+	}
+	k := batchSize(int(n), max)
+	out := make([]Entry[T], 0, k)
+	for len(out) < k {
+		e, o := d.StealTop()
+		if o != StealOK {
+			if len(out) > 0 {
+				return out, StealOK
+			}
+			return nil, o
+		}
+		out = append(out, e)
+	}
+	return out, StealOK
+}
+
+// StealHalfColored is StealHalf gated on the top item containing color:
+// the first element is taken with a colored steal, the rest of the batch
+// with plain steals (see StealHalf for why the batch is not atomic).
+func (d *ChaseLev[T]) StealHalfColored(color int, max int) ([]Entry[T], StealOutcome) {
+	n := d.bottom.Load() - d.top.Load()
+	if n <= 0 {
+		return nil, StealEmpty
+	}
+	k := batchSize(int(n), max)
+	first, o := d.StealTopColored(color)
+	if o != StealOK {
+		return nil, o
+	}
+	out := append(make([]Entry[T], 0, k), first)
+	for len(out) < k {
+		e, o := d.StealTop()
+		if o != StealOK {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, StealOK
 }
 
 // Len returns an advisory item count.

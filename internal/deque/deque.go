@@ -54,6 +54,19 @@ func (o StealOutcome) String() string {
 	}
 }
 
+// batchSize returns how many items a steal-half takes from a deque of n
+// items: half of it rounded up, capped at max (max <= 0 means uncapped).
+func batchSize(n, max int) int {
+	k := (n + 1) / 2
+	if max > 0 && k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // Entry is a deque element: a work item plus the set of task colors
 // reachable inside it.
 type Entry[T any] struct {
@@ -62,8 +75,8 @@ type Entry[T any] struct {
 }
 
 // Queue is the owner/thief protocol shared by both deque implementations.
-// PushBottom and PopBottom may be called only by the owning worker;
-// StealTop and StealTopColored may be called by any worker concurrently.
+// PushBottom and PopBottom may be called only by the owning worker; all
+// steal methods may be called by any worker concurrently.
 type Queue[T any] interface {
 	// PushBottom adds an item at the bottom (owner only).
 	PushBottom(e Entry[T])
@@ -75,6 +88,27 @@ type Queue[T any] interface {
 	// StealTopColored removes the oldest item only if its color set
 	// contains color.
 	StealTopColored(color int) (Entry[T], StealOutcome)
+	// StealTopMasked removes the oldest item only if its color set
+	// intersects mask. The mask must have the same capacity as the
+	// entries' color sets (both sides are sized to the worker count).
+	// Hierarchical thieves pass their socket's color range so that any
+	// task homed in their socket qualifies, not just their own color.
+	StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome)
+	// StealHalf removes up to min(ceil(n/2), max) of the oldest items in
+	// one visit — the batched steal used on cross-socket victims to
+	// amortize remote-steal latency. The returned slice is oldest first
+	// and non-empty iff the outcome is StealOK. Implementations that
+	// cannot take several items atomically (Chase–Lev) may take them one
+	// CAS at a time under the single visit and return fewer than
+	// requested.
+	StealHalf(max int) ([]Entry[T], StealOutcome)
+	// StealHalfColored is StealHalf gated on the top item containing
+	// color: if the victim's oldest item does not contain the thief's
+	// color it reports StealMiss and takes nothing; otherwise it steals a
+	// batch exactly as StealHalf does (later items in the batch need not
+	// contain the color — once a colored steal has paid for the remote
+	// visit, the rest of the batch rides along).
+	StealHalfColored(color int, max int) ([]Entry[T], StealOutcome)
 	// Len returns the current number of items. It is advisory under
 	// concurrency.
 	Len() int

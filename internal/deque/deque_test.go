@@ -399,6 +399,258 @@ func TestConcurrentColoredNoFalseSteal(t *testing.T) {
 	}
 }
 
+func TestStealTopMasked(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			if _, out := q.StealTopMasked(colorset.Of(testColors, 1)); out != StealEmpty {
+				t.Fatalf("masked steal on empty = %v, want empty", out)
+			}
+			q.PushBottom(entry(1, 3, 5))
+			q.PushBottom(entry(2, 7))
+			// Mask {6,7} misses the top {3,5}.
+			if _, out := q.StealTopMasked(colorset.Of(testColors, 6, 7)); out != StealMiss {
+				t.Fatalf("disjoint mask = %v, want miss", out)
+			}
+			if q.Len() != 2 {
+				t.Fatalf("Len = %d after miss, want 2", q.Len())
+			}
+			// Mask {5,9} intersects {3,5}.
+			e, out := q.StealTopMasked(colorset.Of(testColors, 5, 9))
+			if out != StealOK || e.Value != 1 {
+				t.Fatalf("intersecting mask = %v,%v, want value 1", e.Value, out)
+			}
+		})
+	}
+}
+
+func TestStealHalfSemantics(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			if _, out := q.StealHalf(4); out != StealEmpty {
+				t.Fatalf("steal-half on empty = %v, want empty", out)
+			}
+			for i := 0; i < 10; i++ {
+				q.PushBottom(entry(i, i%testColors))
+			}
+			// Half of 10 is 5, capped at 3.
+			ents, out := q.StealHalf(3)
+			if out != StealOK || len(ents) != 3 {
+				t.Fatalf("steal-half = %d items,%v, want 3,ok", len(ents), out)
+			}
+			for i, e := range ents {
+				if e.Value != i {
+					t.Fatalf("batch[%d] = %d, want %d (oldest first)", i, e.Value, i)
+				}
+			}
+			// 7 remain; uncapped takes ceil(7/2) = 4.
+			ents, out = q.StealHalf(0)
+			if out != StealOK || len(ents) != 4 {
+				t.Fatalf("uncapped steal-half = %d items,%v, want 4,ok", len(ents), out)
+			}
+			if q.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", q.Len())
+			}
+			// A single remaining item is still stealable as a "half".
+			q2 := queues()[name]
+			q2.PushBottom(entry(42, 1))
+			ents, out = q2.StealHalf(8)
+			if out != StealOK || len(ents) != 1 || ents[0].Value != 42 {
+				t.Fatalf("steal-half of 1 = %v,%v", ents, out)
+			}
+		})
+	}
+}
+
+func TestStealHalfColored(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			q.PushBottom(entry(0, 3))
+			q.PushBottom(entry(1, 9))
+			q.PushBottom(entry(2, 9))
+			q.PushBottom(entry(3, 9))
+			// Top has color 3: thief of color 9 misses, nothing taken.
+			if _, out := q.StealHalfColored(9, 4); out != StealMiss {
+				t.Fatalf("colored steal-half = %v, want miss", out)
+			}
+			if q.Len() != 4 {
+				t.Fatalf("Len = %d after miss, want 4", q.Len())
+			}
+			// Thief of color 3 hits and drags half the deque along, even
+			// though the later items are color 9.
+			ents, out := q.StealHalfColored(3, 4)
+			if out != StealOK || len(ents) != 2 {
+				t.Fatalf("colored steal-half = %d items,%v, want 2,ok", len(ents), out)
+			}
+			if ents[0].Value != 0 || ents[1].Value != 1 {
+				t.Fatalf("batch = %v, want values 0,1", ents)
+			}
+		})
+	}
+}
+
+// Concurrent steal-half stress (the race-detector test for the batched
+// op): one owner pushing and intermittently popping, several thieves
+// grabbing batches. Every pushed value must be consumed exactly once —
+// nothing lost, nothing duplicated.
+func TestConcurrentStealHalfStress(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func() Queue[int]
+	}{
+		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
+		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+	}
+	total := 40000
+	if testing.Short() {
+		total = 10000
+	}
+	for _, impl := range impls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			const thieves = 6
+			q := impl.mk()
+			consumed := make([]atomic.Int32, total)
+			var taken atomic.Int64
+			done := make(chan struct{})
+
+			var wg sync.WaitGroup
+			for th := 0; th < thieves; th++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					r := xrand.NewWorker(41, id)
+					consume := func(ents []Entry[int]) {
+						for _, e := range ents {
+							consumed[e.Value].Add(1)
+							taken.Add(1)
+						}
+					}
+					for {
+						var ents []Entry[int]
+						var out StealOutcome
+						if r.Intn(2) == 0 {
+							ents, out = q.StealHalf(r.Intn(8) + 1)
+						} else {
+							ents, out = q.StealHalfColored(r.Intn(testColors), r.Intn(8)+1)
+						}
+						if out == StealOK {
+							if len(ents) == 0 {
+								t.Error("StealOK with empty batch")
+								return
+							}
+							consume(ents)
+						}
+						select {
+						case <-done:
+							for {
+								ents, out := q.StealHalf(0)
+								if out != StealOK {
+									return
+								}
+								consume(ents)
+							}
+						default:
+						}
+					}
+				}(th)
+			}
+
+			r := xrand.New(13)
+			for i := 0; i < total; i++ {
+				q.PushBottom(entry(i, i%testColors))
+				if r.Intn(3) == 0 {
+					if e, ok := q.PopBottom(); ok {
+						consumed[e.Value].Add(1)
+						taken.Add(1)
+					}
+				}
+			}
+			for {
+				e, ok := q.PopBottom()
+				if !ok {
+					break
+				}
+				consumed[e.Value].Add(1)
+				taken.Add(1)
+			}
+			close(done)
+			wg.Wait()
+			for {
+				ents, out := q.StealHalf(0)
+				if out != StealOK {
+					break
+				}
+				for _, e := range ents {
+					consumed[e.Value].Add(1)
+					taken.Add(1)
+				}
+			}
+
+			if got := taken.Load(); got != int64(total) {
+				t.Fatalf("consumed %d items, want %d", got, total)
+			}
+			for i := 0; i < total; i++ {
+				if c := consumed[i].Load(); c != 1 {
+					t.Fatalf("value %d consumed %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+// Colored batches must start with an item containing the thief's color.
+func TestConcurrentStealHalfColoredFirstItem(t *testing.T) {
+	for _, impl := range []struct {
+		name string
+		mk   func() Queue[int]
+	}{
+		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
+		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+	} {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			total := 20000
+			if testing.Short() {
+				total = 5000
+			}
+			q := impl.mk()
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			var bad atomic.Int64
+			for th := 0; th < 4; th++ {
+				wg.Add(1)
+				go func(color int) {
+					defer wg.Done()
+					for {
+						ents, out := q.StealHalfColored(color, 4)
+						if out == StealOK && !ents[0].Colors.Has(color) {
+							bad.Add(1)
+						}
+						select {
+						case <-done:
+							return
+						default:
+						}
+					}
+				}(th)
+			}
+			for i := 0; i < total; i++ {
+				q.PushBottom(entry(i, i%8))
+			}
+			for {
+				if _, ok := q.PopBottom(); !ok {
+					break
+				}
+			}
+			close(done)
+			wg.Wait()
+			if bad.Load() != 0 {
+				t.Fatalf("%d colored batches led with a wrong-color item", bad.Load())
+			}
+		})
+	}
+}
+
 func BenchmarkPushPopMutex(b *testing.B) {
 	benchPushPop(b, NewMutex[int](64))
 }

@@ -1,6 +1,10 @@
 package deque
 
-import "sync"
+import (
+	"sync"
+
+	"nabbitc/internal/colorset"
+)
 
 // Mutex is a lock-protected growable ring-buffer deque. It is the engine
 // default: the owner's push/pop and a thief's steal each take the lock
@@ -91,6 +95,70 @@ func (d *Mutex[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 	d.n--
 	d.mu.Unlock()
 	return e, StealOK
+}
+
+// StealTopMasked removes the oldest item only if its color set intersects
+// mask; otherwise it reports StealMiss and leaves the deque unchanged.
+func (d *Mutex[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome) {
+	d.mu.Lock()
+	var zero Entry[T]
+	if d.n == 0 {
+		d.mu.Unlock()
+		return zero, StealEmpty
+	}
+	if !d.buf[d.head].Colors.Intersects(mask) {
+		d.mu.Unlock()
+		return zero, StealMiss
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = Entry[T]{}
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return e, StealOK
+}
+
+// stealBatchLocked removes k items from the top; the caller holds the lock
+// and guarantees k <= d.n.
+func (d *Mutex[T]) stealBatchLocked(k int) []Entry[T] {
+	out := make([]Entry[T], k)
+	for i := range out {
+		out[i] = d.buf[d.head]
+		d.buf[d.head] = Entry[T]{}
+		d.head = (d.head + 1) % len(d.buf)
+	}
+	d.n -= k
+	return out
+}
+
+// StealHalf removes up to min(ceil(n/2), max) of the oldest items under a
+// single lock acquisition — a true atomic batch.
+func (d *Mutex[T]) StealHalf(max int) ([]Entry[T], StealOutcome) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, StealEmpty
+	}
+	out := d.stealBatchLocked(batchSize(d.n, max))
+	d.mu.Unlock()
+	return out, StealOK
+}
+
+// StealHalfColored is StealHalf gated on the top item containing color; on
+// a miss nothing is taken.
+func (d *Mutex[T]) StealHalfColored(color int, max int) ([]Entry[T], StealOutcome) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, StealEmpty
+	}
+	if !d.buf[d.head].Colors.Has(color) {
+		d.mu.Unlock()
+		return nil, StealMiss
+	}
+	out := d.stealBatchLocked(batchSize(d.n, max))
+	d.mu.Unlock()
+	return out, StealOK
 }
 
 // Len returns the number of items.

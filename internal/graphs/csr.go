@@ -146,8 +146,13 @@ func (g *CSR) Stats() DegreeStats {
 
 // BlockOf returns the block index of vertex v when nv vertices are divided
 // into nblocks contiguous blocks (the task decomposition PageRank uses).
+// It is the exact inverse of BlockRange: v always falls inside
+// BlockRange(BlockOf(v, nv, nblocks), nv, nblocks). The naive v*nblocks/nv
+// is NOT that inverse — it misplaces boundary vertices (e.g. vertex 3906
+// of 10000 over 64 blocks lands in block 24, whose range ends at 3906).
 func BlockOf(v, nv, nblocks int) int {
-	return v * nblocks / nv
+	// Largest b with b*nv/nblocks <= v, i.e. ceil((v+1)*nblocks/nv) - 1.
+	return ((v+1)*nblocks - 1) / nv
 }
 
 // BlockRange returns the vertex range [lo, hi) of block b.

@@ -49,7 +49,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "ablate"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "ablate", "hier"}
 }
 
 // Run executes the named experiment ("all" runs everything).
@@ -72,6 +72,8 @@ func Run(name string, cfg Config) error {
 		return Table3(cfg)
 	case "ablate":
 		return Ablate(cfg)
+	case "hier":
+		return Hier(cfg)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, cfg); err != nil {
@@ -333,6 +335,64 @@ func Table3(cfg Config) error {
 	return coloringTable(cfg,
 		"Table III: speedup of NabbitC over Nabbit under an invalid coloring",
 		func(s core.CostSpec, _ int) core.CostSpec { return bench.InvalidColoring(s) })
+}
+
+// Hier is the hierarchical-stealing ablation: for every benchmark it
+// compares Nabbit, flat NabbitC, and NabbitC with the socket-tier colored
+// steal protocol plus batched cross-socket steals (NabbitC-hier), and
+// reports where the hierarchical policy's steals were served from.
+func Hier(cfg Config) error {
+	cfg = cfg.withDefaults()
+	benches, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		serial, err := cfg.serialTime(b)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("P", "Nabbit", "NabbitC", "NabbitC-hier", "hier/NabbitC",
+			"hier remote %", "socket steal %", "avg batch")
+		var lastHier *sim.Result // reused for the tier-anatomy table
+		for _, p := range cfg.Cores {
+			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
+			if err != nil {
+				return err
+			}
+			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
+			if err != nil {
+				return err
+			}
+			nh, err := cfg.runTaskGraph(b, p, core.NabbitCHierPolicy())
+			if err != nil {
+				return err
+			}
+			lastHier = nh
+			t.AddRow(p,
+				float64(serial)/float64(nb.Makespan),
+				float64(serial)/float64(nc.Makespan),
+				float64(serial)/float64(nh.Makespan),
+				float64(nc.Makespan)/float64(nh.Makespan),
+				nh.RemotePercent(),
+				nh.SocketStealPercent(),
+				nh.AvgBatchSize())
+		}
+		cfg.emit(fmt.Sprintf("Hier ablation (%s): flat vs socket-tier colored stealing", b.Info().Name), t)
+
+		// Tier anatomy at the largest core count: where did the
+		// hierarchical policy's probes go, and how often did each tier
+		// pay off?
+		p := cfg.Cores[len(cfg.Cores)-1]
+		nh := lastHier
+		at, ts := nh.TierAttempts(), nh.TierSteals()
+		tt := stats.NewTable("Tier", "Attempts", "Steals", "Hit rate")
+		for tier := core.StealTier(0); tier < core.NumStealTiers; tier++ {
+			tt.AddRow(tier.String(), at[tier], ts[tier], nh.TierHitRate(tier))
+		}
+		cfg.emit(fmt.Sprintf("Hier ablation (%s, P=%d): steal-tier anatomy", b.Info().Name, p), tt)
+	}
+	return nil
 }
 
 // Ablate sweeps NabbitC's design knobs on heat and page-uk-2002: the

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/sim"
+)
+
+// fiveBenchmarks is the CG/MG/PageRank/stencil/SW subset the hierarchical
+// acceptance criteria name.
+var fiveBenchmarks = []string{"cg", "mg", "page-uk-2002", "heat", "sw"}
+
+// The hierarchical policy must run every one of the five paper benchmarks
+// through BOTH machines — the deterministic simulator and the real
+// parallel engine — executing the full task graph each time.
+func TestHierAllFiveBenchmarksBothEngines(t *testing.T) {
+	for _, name := range fiveBenchmarks {
+		b, err := suite.Build(name, bench.ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Simulator: 20 virtual cores = two paper sockets.
+		simSpec, simSink := b.Model(20)
+		want, err := core.TopoOrder(simSpec, simSink, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := sim.Run(simSpec, simSink, sim.Options{
+			Workers: 20,
+			Policy:  core.NabbitCHierPolicy(),
+		})
+		if err != nil {
+			t.Fatalf("%s (sim): %v", name, err)
+		}
+		if int(res.TotalNodes()) != len(want) {
+			t.Fatalf("%s (sim): executed %d tasks, want %d", name, res.TotalNodes(), len(want))
+		}
+
+		// Real engine: 4 host workers grouped into two synthetic sockets
+		// so the socket tiers actually engage.
+		realSpec, realSink := b.Model(4)
+		wantReal, err := core.TopoOrder(realSpec, realSink, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := core.Run(realSpec, realSink, core.Options{
+			Workers:  4,
+			Policy:   core.NabbitCHierPolicy(),
+			Topology: numa.Topology{Workers: 4, CoresPerDomain: 2},
+		})
+		if err != nil {
+			t.Fatalf("%s (real): %v", name, err)
+		}
+		if int(st.TotalNodes()) != len(wantReal) {
+			t.Fatalf("%s (real): executed %d tasks, want %d", name, st.TotalNodes(), len(wantReal))
+		}
+	}
+}
+
+// The hier experiment must emit its comparison table for the five-bench
+// suite, including the NabbitC-hier column and the tier anatomy.
+func TestHierExperimentEmitsComparison(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Scale:      bench.ScaleSmall,
+		Cores:      []int{4, 20},
+		Benchmarks: fiveBenchmarks,
+		Out:        &buf,
+	}
+	if err := Run("hier", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NabbitC-hier", "socket steal %", "steal-tier anatomy", "socket-colored"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hier output missing %q:\n%s", want, out)
+		}
+	}
+	for _, name := range fiveBenchmarks {
+		if !strings.Contains(out, "("+name+")") {
+			t.Fatalf("hier output missing benchmark %s:\n%s", name, out)
+		}
+	}
+}

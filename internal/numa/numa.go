@@ -75,6 +75,33 @@ func (t Topology) Remote(w, c int) bool {
 	return !t.SameDomain(w, c)
 }
 
+// SocketWorkers returns the half-open worker-id range [lo, hi) of the
+// socket (NUMA domain) that color c's core belongs to, or (0, 0) for
+// invalid colors. Worker ids within a socket are consecutive, so the range
+// is all a hierarchical thief needs to enumerate its same-socket victims.
+func (t Topology) SocketWorkers(c int) (lo, hi int) {
+	d := t.DomainOf(c)
+	if d < 0 {
+		return 0, 0
+	}
+	lo = d * t.CoresPerDomain
+	hi = lo + t.CoresPerDomain
+	if hi > t.Workers {
+		hi = t.Workers
+	}
+	return lo, hi
+}
+
+// SocketSize returns the number of workers sharing color c's socket
+// (including c itself), or 0 for invalid colors. A hierarchical thief has
+// same-socket victims only when its SocketSize exceeds 1 and the socket is
+// a strict subset of the machine — the engines derive that per worker from
+// SocketWorkers.
+func (t Topology) SocketSize(c int) int {
+	lo, hi := t.SocketWorkers(c)
+	return hi - lo
+}
+
 // CostModel converts task footprints into virtual time for the simulator.
 // Units are arbitrary "cycles"; only ratios matter for speedup shapes.
 type CostModel struct {

@@ -74,6 +74,61 @@ func TestSmallMachineOneDomain(t *testing.T) {
 	}
 }
 
+func TestSocketWorkers(t *testing.T) {
+	topo := Paper(25) // sockets [0,10) [10,20) [20,25)
+	cases := []struct {
+		color  int
+		lo, hi int
+	}{
+		{0, 0, 10}, {9, 0, 10}, {10, 10, 20}, {19, 10, 20},
+		{20, 20, 25}, {24, 20, 25}, // partial last socket
+		{-1, 0, 0}, {25, 0, 0}, {1000, 0, 0},
+	}
+	for _, c := range cases {
+		lo, hi := topo.SocketWorkers(c.color)
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("SocketWorkers(%d) = [%d,%d), want [%d,%d)", c.color, lo, hi, c.lo, c.hi)
+		}
+	}
+	if n := topo.SocketSize(22); n != 5 {
+		t.Fatalf("SocketSize(22) = %d, want 5", n)
+	}
+	if n := topo.SocketSize(-1); n != 0 {
+		t.Fatalf("SocketSize(-1) = %d, want 0", n)
+	}
+}
+
+// Property: every valid color lies inside its own socket range, and the
+// range is exactly its domain's members.
+func TestQuickSocketRangeConsistent(t *testing.T) {
+	f := func(workersRaw, perDomRaw, colorRaw uint8) bool {
+		topo := Topology{
+			Workers:        int(workersRaw)%100 + 1,
+			CoresPerDomain: int(perDomRaw)%12 + 1,
+		}
+		c := int(colorRaw) % topo.Workers
+		lo, hi := topo.SocketWorkers(c)
+		if c < lo || c >= hi {
+			return false
+		}
+		for v := lo; v < hi; v++ {
+			if !topo.SameDomain(c, v) {
+				return false
+			}
+		}
+		if lo > 0 && topo.SameDomain(c, lo-1) {
+			return false
+		}
+		if hi < topo.Workers && topo.SameDomain(c, hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	if err := (Topology{Workers: 0, CoresPerDomain: 10}).Validate(); err == nil {
 		t.Fatal("zero workers accepted")

@@ -89,6 +89,26 @@ func (d *wdeque) stealTop() (entry, bool) {
 	return e, true
 }
 
+// stealHalf removes min(ceil(n/2), max) of the oldest items, oldest first
+// — the virtual-time mirror of the real deques' batched steal. The
+// simulator is single-threaded, so unlike Chase–Lev this batch really is
+// atomic.
+func (d *wdeque) stealHalf(max int) []entry {
+	n := d.len()
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	if max > 0 && k > max {
+		k = max
+	}
+	out := make([]entry, k)
+	for i := range out {
+		out[i], _ = d.stealTop()
+	}
+	return out
+}
+
 type eventKind uint8
 
 const (
@@ -165,6 +185,12 @@ type worker struct {
 	rng   *xrand.Rand
 	stats WorkerStats
 
+	// socketLo/socketHi bound the worker's socket peers and socketMask is
+	// the same range as a color mask (hierarchical steal tiers).
+	socketLo   int
+	socketHi   int
+	socketMask colorset.Set
+
 	firstStealPending bool
 	stealPhase        int
 	running           *node
@@ -201,10 +227,18 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 	p := opts.Policy
 	e.workers = make([]*worker, opts.Workers)
 	for i := range e.workers {
+		lo, hi := opts.Topology.SocketWorkers(i)
+		mask := colorset.New(opts.Workers)
+		for c := lo; c < hi; c++ {
+			mask.Add(c)
+		}
 		e.workers[i] = &worker{
 			id:                i,
 			color:             i,
 			rng:               xrand.NewWorker(p.Seed, i),
+			socketLo:          lo,
+			socketHi:          hi,
+			socketMask:        mask,
 			firstStealPending: p.Colored && p.ForceFirstColoredSteal && i != 0,
 		}
 	}
@@ -526,73 +560,43 @@ func (e *engine) earliestCompletion() (int64, bool) {
 	return best, found
 }
 
-// stealAttempt performs one probe under the stealing policy. The attempt
-// cost was charged when the event was scheduled.
-func (e *engine) stealAttempt(w *worker, t int64) {
-	if e.done {
-		return
+// socketVictim picks a random same-socket worker other than w; callers
+// ensure the socket holds at least two workers.
+func (e *engine) socketVictim(w *worker) *worker {
+	v := w.socketLo + w.rng.Intn(w.socketHi-w.socketLo-1)
+	if v >= w.id {
+		v++
 	}
-	p := e.opts.Policy
+	return e.workers[v]
+}
+
+// stealSucceeded charges the steal-success cost (once, even for a batch —
+// that single charge is the amortization batching buys), adopts every
+// batch item after the first into the thief's own deque, and continues the
+// thief on the first stolen item.
+func (e *engine) stealSucceeded(w *worker, t int64, ents []entry) {
 	m := e.opts.Cost
-	v := e.victim(w)
-
-	colored := false
-	if w.firstStealPending {
-		colored = true
-	} else if p.Colored && w.stealPhase < p.ColoredStealAttempts {
-		colored = true
+	w.stats.StealsOK++
+	t += m.StealSuccessCost
+	w.stats.BusyTime += m.StealSuccessCost
+	for _, ex := range ents[1:] {
+		w.dq.pushBottom(ex)
 	}
-
-	var ent entry
-	var ok bool
-	w.stats.StealAttempts++
-	if colored {
-		w.stats.ColoredAttempts++
-		if top, has := v.dq.top(); has {
-			if top.colors.Has(w.color) {
-				ent, ok = v.dq.stealTop()
-			} else {
-				w.stats.ColoredMisses++
-			}
-		}
-		if w.firstStealPending {
-			w.stats.FirstStealChecks++
-			if ok {
-				w.firstStealPending = false
-				w.stats.FirstStealForcedOK = true
-			} else if w.stats.FirstStealChecks >=
-				int64(p.FirstStealMaxRounds)*int64(len(e.workers)-1) {
-				// Give up the enforcement (bounded, see DESIGN.md §4).
-				w.firstStealPending = false
-			}
-		} else {
-			w.stealPhase++
-		}
+	n, t2 := e.interpret(w, t, ents[0].it)
+	if n != nil {
+		e.startExec(w, t2, n)
 	} else {
-		ent, ok = v.dq.stealTop()
-		w.stealPhase = 0
+		e.acquire(w, t2)
 	}
+}
 
-	if ok {
-		w.stats.StealsOK++
-		if colored {
-			w.stats.ColoredStealsOK++
-		}
-		t += m.StealSuccessCost
-		w.stats.BusyTime += m.StealSuccessCost
-		n, t2 := e.interpret(w, t, ent.it)
-		if n != nil {
-			e.startExec(w, t2, n)
-		} else {
-			e.acquire(w, t2)
-		}
-		return
-	}
-
-	// Failed probe: schedule the next one. If nothing is stealable
-	// anywhere, fast-forward to the next completion instead of grinding
-	// out empty probes (pure simulation-efficiency optimization: the
-	// probes it skips could not have succeeded).
+// scheduleNextProbe schedules the worker's next steal event after a failed
+// probe. If nothing is stealable anywhere, fast-forward to the next
+// completion instead of grinding out empty probes (pure
+// simulation-efficiency optimization: the probes it skips could not have
+// succeeded).
+func (e *engine) scheduleNextProbe(w *worker, t int64) {
+	m := e.opts.Cost
 	next := t + m.StealAttemptCost
 	if !e.anyStealable() {
 		if c, busy := e.earliestCompletion(); busy && c+1 > next {
@@ -602,4 +606,194 @@ func (e *engine) stealAttempt(w *worker, t int64) {
 		}
 	}
 	e.evq.push(next, w.id, evSteal)
+}
+
+// stealAttempt performs one probe under the stealing policy. The attempt
+// cost was charged when the event was scheduled.
+func (e *engine) stealAttempt(w *worker, t int64) {
+	if e.done {
+		return
+	}
+	p := e.opts.Policy
+
+	// The enforced first colored steal is the same (global, exact-color)
+	// protocol under flat and hierarchical policies.
+	if w.firstStealPending {
+		v := e.victim(w)
+		w.stats.StealAttempts++
+		w.stats.ColoredAttempts++
+		w.stats.TierAttempts[core.TierGlobalColored]++
+		var ent entry
+		var ok bool
+		if top, has := v.dq.top(); has {
+			if top.colors.Has(w.color) {
+				ent, ok = v.dq.stealTop()
+			} else {
+				w.stats.ColoredMisses++
+			}
+		}
+		w.stats.FirstStealChecks++
+		if ok {
+			w.firstStealPending = false
+			w.stats.FirstStealForcedOK = true
+			w.stats.ColoredStealsOK++
+			w.stats.TierSteals[core.TierGlobalColored]++
+			e.stealSucceeded(w, t, []entry{ent})
+			return
+		}
+		if w.stats.FirstStealChecks >=
+			int64(p.FirstStealMaxRounds)*int64(len(e.workers)-1) {
+			// Give up the enforcement (bounded, see DESIGN.md §4).
+			w.firstStealPending = false
+		}
+		e.scheduleNextProbe(w, t)
+		return
+	}
+
+	if p.Hierarchical {
+		e.stealAttemptHier(w, t)
+		return
+	}
+
+	v := e.victim(w)
+	colored := p.Colored && w.stealPhase < p.ColoredStealAttempts
+	var ent entry
+	var ok bool
+	w.stats.StealAttempts++
+	if colored {
+		w.stats.ColoredAttempts++
+		w.stats.TierAttempts[core.TierGlobalColored]++
+		if top, has := v.dq.top(); has {
+			if top.colors.Has(w.color) {
+				ent, ok = v.dq.stealTop()
+			} else {
+				w.stats.ColoredMisses++
+			}
+		}
+		w.stealPhase++
+	} else {
+		w.stats.TierAttempts[core.TierGlobalRandom]++
+		ent, ok = v.dq.stealTop()
+		w.stealPhase = 0
+	}
+
+	if ok {
+		if colored {
+			w.stats.ColoredStealsOK++
+			w.stats.TierSteals[core.TierGlobalColored]++
+		} else {
+			w.stats.TierSteals[core.TierGlobalRandom]++
+		}
+		e.stealSucceeded(w, t, []entry{ent})
+		return
+	}
+	e.scheduleNextProbe(w, t)
+}
+
+// stealAttemptHier performs one probe of the hierarchical protocol. The
+// worker's stealPhase indexes into the concatenated tier budgets, so
+// consecutive failed probes walk the same victim order as the real
+// engine's findWorkHier: own-color → socket-colored → socket-random →
+// global-colored → global-random, with cross-socket steals in the global
+// tiers batched. A success restarts the walk from the top (the real
+// engine's fresh findWork round); the tier-5 fallback also wraps back.
+func (e *engine) stealAttemptHier(w *worker, t int64) {
+	p := e.opts.Policy
+	// As in the real engine, socket tiers are skipped when the socket
+	// spans the whole machine (they would duplicate the global tiers).
+	sockN := w.socketHi - w.socketLo
+	if sockN >= len(e.workers) {
+		sockN = 1
+	}
+
+	b1, b2, b3, b4 := 0, 0, 0, 0
+	if sockN > 1 && p.Colored {
+		b1, b2 = p.OwnColorStealAttempts, p.SocketColoredAttempts
+	}
+	if sockN > 1 {
+		b3 = p.SocketRandomAttempts
+	}
+	if p.Colored {
+		b4 = p.ColoredStealAttempts
+	}
+
+	ph := w.stealPhase
+	var tier core.StealTier
+	switch {
+	case ph < b1:
+		tier = core.TierOwnColor
+	case ph < b1+b2:
+		tier = core.TierSocketColored
+	case ph < b1+b2+b3:
+		tier = core.TierSocketRandom
+	case ph < b1+b2+b3+b4:
+		tier = core.TierGlobalColored
+	default:
+		tier = core.TierGlobalRandom
+	}
+
+	var v *worker
+	if tier <= core.TierSocketRandom {
+		v = e.socketVictim(w)
+	} else {
+		v = e.victim(w)
+	}
+	cross := v.id < w.socketLo || v.id >= w.socketHi
+
+	tierColored := tier == core.TierOwnColor || tier == core.TierSocketColored ||
+		tier == core.TierGlobalColored
+	w.stats.StealAttempts++
+	w.stats.TierAttempts[tier]++
+	if tierColored {
+		w.stats.ColoredAttempts++
+	}
+
+	var ents []entry
+	if top, has := v.dq.top(); has {
+		switch tier {
+		case core.TierOwnColor, core.TierGlobalColored:
+			if !top.colors.Has(w.color) {
+				w.stats.ColoredMisses++
+			} else if cross {
+				ents = v.dq.stealHalf(p.StealBatch)
+			} else {
+				ent, _ := v.dq.stealTop()
+				ents = []entry{ent}
+			}
+		case core.TierSocketColored:
+			if !top.colors.Intersects(w.socketMask) {
+				w.stats.ColoredMisses++
+			} else {
+				ent, _ := v.dq.stealTop()
+				ents = []entry{ent}
+			}
+		default: // TierSocketRandom, TierGlobalRandom
+			if cross {
+				ents = v.dq.stealHalf(p.StealBatch)
+			} else {
+				ent, _ := v.dq.stealTop()
+				ents = []entry{ent}
+			}
+		}
+	}
+
+	if len(ents) > 0 {
+		w.stealPhase = 0
+		w.stats.TierSteals[tier]++
+		if tierColored {
+			w.stats.ColoredStealsOK++
+		}
+		if cross {
+			w.stats.BatchOps++
+			w.stats.BatchItems += int64(len(ents))
+		}
+		e.stealSucceeded(w, t, ents)
+		return
+	}
+	if tier == core.TierGlobalRandom {
+		w.stealPhase = 0
+	} else {
+		w.stealPhase++
+	}
+	e.scheduleNextProbe(w, t)
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
 	"nabbitc/internal/xrand"
 )
 
@@ -76,9 +77,17 @@ func TestQuickSimRandomDAGs(t *testing.T) {
 			return false
 		}
 
-		pol := core.NabbitCPolicy()
-		if seed%2 == 1 {
+		var pol core.Policy
+		var topo numa.Topology
+		switch seed % 3 {
+		case 0:
+			pol = core.NabbitCPolicy()
+		case 1:
 			pol = core.NabbitPolicy()
+		default:
+			// Hierarchical on a synthetic multi-socket topology.
+			pol = core.NabbitCHierPolicy()
+			topo = numa.Topology{Workers: workers, CoresPerDomain: 3}
 		}
 		pol.FirstStealMaxRounds = 2
 		pol.Seed = seed + 7
@@ -86,8 +95,9 @@ func TestQuickSimRandomDAGs(t *testing.T) {
 		finished := map[core.Key]int{}
 		seq := 0
 		opts := Options{
-			Workers: workers,
-			Policy:  pol,
+			Workers:  workers,
+			Policy:   pol,
+			Topology: topo,
 			OnComplete: func(_ int64, _ int, k core.Key) {
 				finished[k] = seq
 				seq++
@@ -117,7 +127,7 @@ func TestQuickSimRandomDAGs(t *testing.T) {
 		}
 		// Determinism: a second run (without the hook) must agree on
 		// makespan and per-worker stats.
-		res2, err := Run(spec, sink, Options{Workers: workers, Policy: pol})
+		res2, err := Run(spec, sink, Options{Workers: workers, Policy: pol, Topology: topo})
 		if err != nil || res2.Makespan != res.Makespan {
 			t.Logf("seed %d: rerun makespan %d != %d", seed, res2.Makespan, res.Makespan)
 			return false

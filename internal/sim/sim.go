@@ -63,16 +63,9 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 func policyWithDefaults(p core.Policy) core.Policy {
-	if p.Colored && p.ColoredStealAttempts <= 0 {
-		p.ColoredStealAttempts = 4
-	}
-	if p.ForceFirstColoredSteal && p.FirstStealMaxRounds <= 0 {
-		p.FirstStealMaxRounds = 64
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	return p
+	// One normalization shared with the real engine, so a policy can
+	// never mean different things to the two machines.
+	return p.WithDefaults()
 }
 
 // WorkerStats are per-simulated-worker counters; times are virtual.
@@ -88,6 +81,13 @@ type WorkerStats struct {
 	// FirstStealChecks is the paper's per-worker C term.
 	FirstStealChecks   int64
 	FirstStealForcedOK bool
+	// TierAttempts/TierSteals break probes down by hierarchy tier, and
+	// BatchOps/BatchItems record batched (steal-half) transfers — the
+	// same counters the real engine keeps in core.WorkerStats.
+	TierAttempts [core.NumStealTiers]int64
+	TierSteals   [core.NumStealTiers]int64
+	BatchOps     int64
+	BatchItems   int64
 	// TimeToFirstWork is virtual time until the worker first executed
 	// anything; workers that never worked report the makespan.
 	TimeToFirstWork int64
@@ -159,6 +159,65 @@ func (r *Result) AvgTimeToFirstWork() int64 {
 		total += r.Workers[i].TimeToFirstWork
 	}
 	return total / int64(len(r.Workers))
+}
+
+// TierAttempts returns the per-tier steal probe totals.
+func (r *Result) TierAttempts() [core.NumStealTiers]int64 {
+	var out [core.NumStealTiers]int64
+	for i := range r.Workers {
+		for t := range out {
+			out[t] += r.Workers[i].TierAttempts[t]
+		}
+	}
+	return out
+}
+
+// TierSteals returns the per-tier successful steal totals (batched steals
+// count once).
+func (r *Result) TierSteals() [core.NumStealTiers]int64 {
+	var out [core.NumStealTiers]int64
+	for i := range r.Workers {
+		for t := range out {
+			out[t] += r.Workers[i].TierSteals[t]
+		}
+	}
+	return out
+}
+
+// TierHitRate returns the fraction of tier t's probes that stole work, or
+// 0 when the tier was never tried.
+func (r *Result) TierHitRate(t core.StealTier) float64 {
+	a, ok := r.TierAttempts(), r.TierSteals()
+	if a[t] == 0 {
+		return 0
+	}
+	return float64(ok[t]) / float64(a[t])
+}
+
+// SocketStealPercent returns the percentage of successful steals served by
+// a same-socket victim (tiers 1-3), or 0 with no steals.
+func (r *Result) SocketStealPercent() float64 {
+	st := r.TierSteals()
+	sock := st[core.TierOwnColor] + st[core.TierSocketColored] + st[core.TierSocketRandom]
+	total := sock + st[core.TierGlobalColored] + st[core.TierGlobalRandom]
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(sock) / float64(total)
+}
+
+// AvgBatchSize returns the mean items per successful batched steal, or 0
+// when none succeeded.
+func (r *Result) AvgBatchSize() float64 {
+	var ops, items int64
+	for i := range r.Workers {
+		ops += r.Workers[i].BatchOps
+		items += r.Workers[i].BatchItems
+	}
+	if ops == 0 {
+		return 0
+	}
+	return float64(items) / float64(ops)
 }
 
 // StealAttempts returns the total number of steal probes.
