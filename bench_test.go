@@ -120,8 +120,8 @@ func benchSim(b *testing.B, name string, p int, pol core.Policy) {
 	}
 }
 
-func BenchmarkSimHeatNabbit80(b *testing.B)   { benchSim(b, "heat", 80, core.NabbitPolicy()) }
-func BenchmarkSimHeatNabbitC80(b *testing.B)  { benchSim(b, "heat", 80, core.NabbitCPolicy()) }
+func BenchmarkSimHeatNabbit80(b *testing.B)  { benchSim(b, "heat", 80, core.NabbitPolicy()) }
+func BenchmarkSimHeatNabbitC80(b *testing.B) { benchSim(b, "heat", 80, core.NabbitCPolicy()) }
 func BenchmarkSimPageUKNabbitC80(b *testing.B) {
 	benchSim(b, "page-uk-2002", 80, core.NabbitCPolicy())
 }

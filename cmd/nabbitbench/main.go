@@ -1,62 +1,257 @@
 // Command nabbitbench regenerates the paper's experiments on the
-// simulated NUMA machine.
+// simulated NUMA machine, emits structured JSON reports, and gates new
+// results against checked-in baselines.
 //
 // Usage:
 //
 //	nabbitbench -experiment fig6                 # one experiment
 //	nabbitbench -experiment all                  # everything
 //	nabbitbench -experiment fig7 -bench heat,cg  # restrict benchmarks
-//	nabbitbench -experiment fig6 -cores 1,20,80 -csv
+//	nabbitbench -experiment fig6 -cores 1,20,80 -format csv
 //	nabbitbench -experiment table2 -scale small  # quick run
+//	nabbitbench -experiment all -scale small -format json -out r.json
+//
+//	nabbitbench compare BASELINE.json NEW.json   # perf gate: exit 1 on regression
+//	nabbitbench compare -tol 0.02 -strict a.json b.json
+//	nabbitbench validate r.json                  # schema check: exit 2 on error
+//	nabbitbench bench -scale small               # wall-clock real-engine suite
+//	                                             # (emits BENCH_<rev>.json)
+//
+// Exit codes: 0 success, 1 perf regression (compare), 2 usage or schema
+// error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
 	"nabbitc/internal/harness"
+	"nabbitc/internal/perf"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all",
-		fmt.Sprintf("experiment to run: %s, or all", strings.Join(harness.Experiments(), ", ")))
-	benches := flag.String("bench", "",
-		fmt.Sprintf("comma-separated benchmarks (default all: %s)", strings.Join(suite.Names(), ",")))
-	cores := flag.String("cores", "", "comma-separated core counts (default 1,2,4,10,20,40,60,80)")
-	scale := flag.String("scale", "default", "benchmark scale: default or small")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	flag.Parse()
-
-	cfg := harness.Config{Out: os.Stdout, CSV: *csv}
-	switch *scale {
-	case "default":
-		cfg.Scale = bench.ScaleDefault
-	case "small":
-		cfg.Scale = bench.ScaleSmall
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "compare":
+			os.Exit(runCompare(os.Args[2:]))
+		case "validate":
+			os.Exit(runValidate(os.Args[2:]))
+		case "bench":
+			os.Exit(runBench(os.Args[2:]))
+		}
 	}
+	os.Exit(runExperiments(os.Args[1:]))
+}
+
+// fail prints to stderr and returns the given exit code.
+func fail(code int, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	return code
+}
+
+// openOut returns the output writer for -out ("" or "-" = stdout).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func parseScale(s string) (bench.Scale, error) {
+	switch s {
+	case "default":
+		return bench.ScaleDefault, nil
+	case "small":
+		return bench.ScaleSmall, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (have default, small)", s)
+}
+
+func runExperiments(args []string) int {
+	fs := flag.NewFlagSet("nabbitbench", flag.ExitOnError)
+	experiment := fs.String("experiment", "all",
+		fmt.Sprintf("experiment to run: %s, or all", strings.Join(harness.Experiments(), ", ")))
+	benches := fs.String("bench", "",
+		fmt.Sprintf("comma-separated benchmarks (default all: %s)", strings.Join(suite.Names(), ",")))
+	cores := fs.String("cores", "", "comma-separated core counts (default 1,2,4,10,20,40,60,80)")
+	scale := fs.String("scale", "default", "benchmark scale: default or small")
+	format := fs.String("format", "",
+		fmt.Sprintf("output format: %s (default table)", strings.Join(harness.Formats(), ", ")))
+	csv := fs.Bool("csv", false, "emit CSV (deprecated: use -format csv)")
+	out := fs.String("out", "", "write output to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fail(2, "unexpected argument %q (modes: compare, validate, bench)", fs.Arg(0))
+	}
+
+	// Validate everything up front, before any experiment runs.
+	if !harness.ValidExperiment(*experiment) {
+		return fail(2, "unknown experiment %q (have %s, all)",
+			*experiment, strings.Join(harness.Experiments(), ", "))
+	}
+	cfg := harness.Config{CSV: *csv, Format: *format}
+	sc, err := parseScale(*scale)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	cfg.Scale = sc
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
+		for _, b := range cfg.Benchmarks {
+			if _, err := suite.Build(b, cfg.Scale); err != nil {
+				return fail(2, "%v", err)
+			}
+		}
 	}
 	if *cores != "" {
 		for _, c := range strings.Split(*cores, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(c))
 			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "bad core count %q\n", c)
-				os.Exit(2)
+				return fail(2, "bad core count %q", c)
 			}
 			cfg.Cores = append(cfg.Cores, n)
 		}
 	}
-	if err := harness.Run(*experiment, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	w, closeOut, err := openOut(*out)
+	if err != nil {
+		return fail(2, "%v", err)
 	}
+	cfg.Out = w
+	if err := harness.Run(*experiment, cfg); err != nil {
+		closeOut()
+		return fail(1, "%v", err)
+	}
+	if err := closeOut(); err != nil {
+		return fail(1, "%v", err)
+	}
+	return 0
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("nabbitbench compare", flag.ExitOnError)
+	tol := fs.Float64("tol", perf.DefaultTolerance,
+		"allowed relative worsening per metric (0.05 = 5%); 0 gates exactly")
+	strict := fs.Bool("strict", false,
+		"fail on ANY value change (determinism check for sim documents)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fail(2, "usage: nabbitbench compare [-tol T] [-strict] BASELINE.json NEW.json")
+	}
+	base, err := perf.Load(fs.Arg(0))
+	if err != nil {
+		return fail(2, "baseline: %v", err)
+	}
+	cur, err := perf.Load(fs.Arg(1))
+	if err != nil {
+		return fail(2, "new: %v", err)
+	}
+	opts := perf.Options{Tolerance: *tol, Strict: *strict}
+	if *tol <= 0 {
+		// Options treats 0 as "use the default", so an explicit -tol 0
+		// (or any negative) must be passed through as the exact gate.
+		opts.Tolerance = -1
+	}
+	c, err := perf.Compare(base, cur, opts)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	c.WriteText(os.Stdout)
+	if !c.Ok() {
+		return 1
+	}
+	return 0
+}
+
+func runValidate(args []string) int {
+	fs := flag.NewFlagSet("nabbitbench validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fail(2, "usage: nabbitbench validate FILE.json")
+	}
+	doc, err := perf.Load(fs.Arg(0))
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	var tables, rows int
+	for _, rep := range doc.Reports {
+		tables += len(rep.Tables)
+		for _, t := range rep.Tables {
+			rows += len(t.Rows)
+		}
+	}
+	fmt.Printf("%s: ok (schema v%d, kind %s, %d reports, %d tables, %d rows)\n",
+		fs.Arg(0), doc.SchemaVersion, doc.Kind, len(doc.Reports), tables, rows)
+	return 0
+}
+
+// gitRevision returns the short HEAD hash, or "local" when git is
+// unavailable (the runner must work from exported tarballs too).
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "local"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func runBench(args []string) int {
+	fs := flag.NewFlagSet("nabbitbench bench", flag.ExitOnError)
+	benches := fs.String("bench", "",
+		fmt.Sprintf("comma-separated benchmarks (default all: %s)", strings.Join(suite.Names(), ",")))
+	scale := fs.String("scale", "small", "benchmark scale: default or small")
+	workers := fs.Int("workers", 0, "host workers (default min(8, NumCPU))")
+	repeats := fs.Int("repeats", 3, "runs per configuration; min wall time is reported")
+	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
+	out := fs.String("out", "", "output file (default BENCH_<rev>.json)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fail(2, "unexpected argument %q", fs.Arg(0))
+	}
+	cfg := harness.WallclockConfig{Workers: *workers, Repeats: *repeats, Revision: *rev}
+	sc, err := parseScale(*scale)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	cfg.Scale = sc
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+		for _, b := range cfg.Benchmarks {
+			if _, err := suite.Build(b, cfg.Scale); err != nil {
+				return fail(2, "%v", err)
+			}
+		}
+	}
+	if cfg.Revision == "" {
+		cfg.Revision = gitRevision()
+	}
+	doc, err := harness.WallclockDocument(cfg)
+	if err != nil {
+		return fail(1, "%v", err)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + cfg.Revision + ".json"
+	}
+	if path == "-" {
+		if err := perf.Encode(os.Stdout, doc); err != nil {
+			return fail(1, "%v", err)
+		}
+		return 0
+	}
+	if err := perf.Store(path, doc); err != nil {
+		return fail(1, "%v", err)
+	}
+	fmt.Printf("wrote %s (revision %s)\n", path, cfg.Revision)
+	return 0
 }

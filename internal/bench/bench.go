@@ -46,6 +46,19 @@ type Benchmark interface {
 	Sweeps(p int) []simomp.Sweep
 }
 
+// RealGraph is a freshly allocated wall-clock instance of a benchmark: a
+// task graph over live data on the host, runnable through the real engine
+// (core.Run over Spec) or serially. Each benchmark sub-package's NewReal
+// returns a concrete type satisfying this; the suite registry exposes them
+// uniformly via suite.BuildReal for the wall-clock perf runner.
+type RealGraph interface {
+	// Spec returns the executable task graph for p workers and its sink.
+	Spec(p int) (core.CostSpec, core.Key)
+	// RunSerial executes the kernel on one thread (the wall-clock
+	// speedup denominator).
+	RunSerial()
+}
+
 // Irregular marks benchmarks whose per-task work is data-dependent, where
 // the paper compares against both OpenMP schedules (only PageRank in the
 // suite).

@@ -78,12 +78,12 @@ func (c *CG) Info() bench.Info {
 // node i in [1, B) has children 2i and 2i+1, where child values >= B
 // denote leaves (block c-B of the feeding phase).
 const (
-	cgSpmv    = 0 // q_b = (A p)_b; emits pq partial
-	cgDot1    = 1 // reduction tree over pq partials -> alpha
-	cgUpd     = 2 // x_b += a p_b; r_b -= a q_b; emits rr partial
-	cgDot2    = 3 // reduction tree over rr partials -> beta
-	cgPupd    = 4 // p_b = r_b + beta p_b
-	cgPhases  = 5
+	cgSpmv   = 0 // q_b = (A p)_b; emits pq partial
+	cgDot1   = 1 // reduction tree over pq partials -> alpha
+	cgUpd    = 2 // x_b += a p_b; r_b -= a q_b; emits rr partial
+	cgDot2   = 3 // reduction tree over rr partials -> beta
+	cgPupd   = 4 // p_b = r_b + beta p_b
+	cgPhases = 5
 )
 
 func (c *CG) key(it, phase, idx int) core.Key {

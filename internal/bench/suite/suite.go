@@ -16,20 +16,43 @@ import (
 type entry struct {
 	name  string
 	build func(bench.Scale) bench.Benchmark
+	// real builds a fresh wall-clock instance (live data on the host)
+	// for the perf runner.
+	real func(bench.Scale) bench.RealGraph
 }
 
 // Table I order.
 var registry = []entry{
-	{"cg", func(s bench.Scale) bench.Benchmark { return nas.CGBench(s) }},
-	{"mg", func(s bench.Scale) bench.Benchmark { return nas.MGBench(s) }},
-	{"heat", func(s bench.Scale) bench.Benchmark { return stencil.Heat(s) }},
-	{"fdtd", func(s bench.Scale) bench.Benchmark { return stencil.FDTD(s) }},
-	{"life", func(s bench.Scale) bench.Benchmark { return stencil.Life(s) }},
-	{"page-uk-2002", func(s bench.Scale) bench.Benchmark { return pagerank.UK2002(s) }},
-	{"page-twitter-2010", func(s bench.Scale) bench.Benchmark { return pagerank.Twitter2010(s) }},
-	{"page-uk-2007-05", func(s bench.Scale) bench.Benchmark { return pagerank.UK2007(s) }},
-	{"sw", func(s bench.Scale) bench.Benchmark { return sw.N3(s) }},
-	{"swn2", func(s bench.Scale) bench.Benchmark { return sw.N2(s) }},
+	{"cg",
+		func(s bench.Scale) bench.Benchmark { return nas.CGBench(s) },
+		func(s bench.Scale) bench.RealGraph { return nas.CGBench(s).NewReal() }},
+	{"mg",
+		func(s bench.Scale) bench.Benchmark { return nas.MGBench(s) },
+		func(s bench.Scale) bench.RealGraph { return nas.MGBench(s).NewReal() }},
+	{"heat",
+		func(s bench.Scale) bench.Benchmark { return stencil.Heat(s) },
+		func(s bench.Scale) bench.RealGraph { return stencil.Heat(s).NewReal() }},
+	{"fdtd",
+		func(s bench.Scale) bench.Benchmark { return stencil.FDTD(s) },
+		func(s bench.Scale) bench.RealGraph { return stencil.FDTD(s).NewReal() }},
+	{"life",
+		func(s bench.Scale) bench.Benchmark { return stencil.Life(s) },
+		func(s bench.Scale) bench.RealGraph { return stencil.Life(s).NewReal() }},
+	{"page-uk-2002",
+		func(s bench.Scale) bench.Benchmark { return pagerank.UK2002(s) },
+		func(s bench.Scale) bench.RealGraph { return pagerank.UK2002(s).NewReal() }},
+	{"page-twitter-2010",
+		func(s bench.Scale) bench.Benchmark { return pagerank.Twitter2010(s) },
+		func(s bench.Scale) bench.RealGraph { return pagerank.Twitter2010(s).NewReal() }},
+	{"page-uk-2007-05",
+		func(s bench.Scale) bench.Benchmark { return pagerank.UK2007(s) },
+		func(s bench.Scale) bench.RealGraph { return pagerank.UK2007(s).NewReal() }},
+	{"sw",
+		func(s bench.Scale) bench.Benchmark { return sw.N3(s) },
+		func(s bench.Scale) bench.RealGraph { return sw.N3(s).NewReal() }},
+	{"swn2",
+		func(s bench.Scale) bench.Benchmark { return sw.N2(s) },
+		func(s bench.Scale) bench.RealGraph { return sw.N2(s).NewReal() }},
 }
 
 // Names returns the benchmark names in Table I order.
@@ -46,6 +69,17 @@ func Build(name string, s bench.Scale) (bench.Benchmark, error) {
 	for _, e := range registry {
 		if e.name == name {
 			return e.build(s), nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown benchmark %q (have %v)", name, Names())
+}
+
+// BuildReal constructs a fresh wall-clock (real-engine) instance of the
+// named benchmark at the given scale.
+func BuildReal(name string, s bench.Scale) (bench.RealGraph, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.real(s), nil
 		}
 	}
 	return nil, fmt.Errorf("suite: unknown benchmark %q (have %v)", name, Names())

@@ -47,8 +47,8 @@ func randomSeq(n int, seed uint64) []byte {
 	return s
 }
 
-func (r *Real) at(i, j int) int32      { return r.h[i*r.cols+j] }
-func (r *Real) set(i, j int, v int32)  { r.h[i*r.cols+j] = v }
+func (r *Real) at(i, j int) int32     { return r.h[i*r.cols+j] }
+func (r *Real) set(i, j int, v int32) { r.h[i*r.cols+j] = v }
 
 // computeBlock fills block (bi, bj) of the score matrix. With
 // ScanWindow == 1 this is the classic linear-gap recurrence; larger

@@ -27,9 +27,9 @@ type WorkerStats struct {
 	// StealAttempts counts all steal probes; ColoredAttempts the
 	// colored subset; ColoredMisses colored probes that found work of
 	// the wrong color (as opposed to an empty deque).
-	StealAttempts  int64
+	StealAttempts   int64
 	ColoredAttempts int64
-	ColoredMisses  int64
+	ColoredMisses   int64
 	// FirstStealChecks is the number of colored probes made while
 	// enforcing the first colored steal — the paper's per-worker C term.
 	FirstStealChecks int64
@@ -183,6 +183,28 @@ func (s *Stats) AvgBatchSize() float64 {
 		return 0
 	}
 	return float64(items) / float64(ops)
+}
+
+// Metrics returns the run's standard named-metric set for the structured
+// report pipeline (internal/perf): wall-clock ns, locality fractions, and
+// steal anatomy per tier. Names match sim.Result.Metrics where the two
+// machines measure the same thing; wall_ns replaces makespan_cycles.
+func (s *Stats) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"wall_ns":           float64(s.Elapsed.Nanoseconds()),
+		"nodes_executed":    float64(s.TotalNodes()),
+		"remote_pct":        s.RemotePercent(),
+		"steals_per_worker": s.AvgSuccessfulSteals(),
+		"steal_attempts":    float64(s.StealAttempts()),
+		"socket_steal_pct":  s.SocketStealPercent(),
+		"avg_batch":         s.AvgBatchSize(),
+	}
+	at, ts := s.TierAttempts(), s.TierSteals()
+	for t := StealTier(0); t < NumStealTiers; t++ {
+		m["tier_attempts/"+t.String()] = float64(at[t])
+		m["tier_steals/"+t.String()] = float64(ts[t])
+	}
+	return m
 }
 
 // AvgTimeToFirstWork averages the per-worker delay until first work

@@ -32,9 +32,9 @@ func newCLBuffer[T any](logSize uint) *clBuffer[T] {
 	return &clBuffer[T]{mask: n - 1, slots: make([]atomic.Pointer[Entry[T]], n)}
 }
 
-func (b *clBuffer[T]) get(i int64) *Entry[T]     { return b.slots[i&b.mask].Load() }
-func (b *clBuffer[T]) put(i int64, e *Entry[T])  { b.slots[i&b.mask].Store(e) }
-func (b *clBuffer[T]) size() int64               { return b.mask + 1 }
+func (b *clBuffer[T]) get(i int64) *Entry[T]    { return b.slots[i&b.mask].Load() }
+func (b *clBuffer[T]) put(i int64, e *Entry[T]) { b.slots[i&b.mask].Store(e) }
+func (b *clBuffer[T]) size() int64              { return b.mask + 1 }
 
 // NewChaseLev returns an empty lock-free deque.
 func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {

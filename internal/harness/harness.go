@@ -1,21 +1,34 @@
 // Package harness drives the paper's experiments (Figures 6-9, Tables
-// I-III, plus ablations) on the simulated machine and renders the same
-// rows/series the paper reports.
+// I-III, plus ablations) on the simulated machine. Every experiment
+// builds a typed perf.Report — named, direction-annotated metrics over
+// keyed rows — and the classic table/CSV outputs plus the machine-read
+// JSON document are renderers over that one value.
 package harness
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
 	"nabbitc/internal/core"
 	"nabbitc/internal/numa"
 	"nabbitc/internal/omp"
+	"nabbitc/internal/perf"
 	"nabbitc/internal/sim"
 	"nabbitc/internal/simomp"
-	"nabbitc/internal/stats"
 )
+
+// Output formats for Run.
+const (
+	FormatTable = "table"
+	FormatCSV   = "csv"
+	FormatJSON  = "json"
+)
+
+// Formats lists the valid Config.Format values.
+func Formats() []string { return []string{FormatTable, FormatCSV, FormatJSON} }
 
 // Config parameterizes an experiment run.
 type Config struct {
@@ -28,9 +41,13 @@ type Config struct {
 	Benchmarks []string
 	// Cost overrides the machine cost model.
 	Cost numa.CostModel
-	// CSV switches output to comma-separated values.
+	// Format selects the renderer: FormatTable (default), FormatCSV, or
+	// FormatJSON (one perf.Document over the whole run).
+	Format string
+	// CSV is the deprecated spelling of Format = FormatCSV, kept for
+	// callers that predate the structured pipeline.
 	CSV bool
-	// Out receives the rendered tables.
+	// Out receives the rendered output.
 	Out io.Writer
 }
 
@@ -44,55 +61,152 @@ func (c Config) withDefaults() Config {
 	if c.Cost == (numa.CostModel{}) {
 		c.Cost = numa.DefaultCostModel()
 	}
+	if c.Format == "" {
+		if c.CSV {
+			c.Format = FormatCSV
+		} else {
+			c.Format = FormatTable
+		}
+	}
 	return c
+}
+
+// runConfig echoes the configuration into the report envelope.
+func (c Config) runConfig() perf.RunConfig {
+	return perf.RunConfig{
+		Scale:      c.Scale.String(),
+		Cores:      c.Cores,
+		Benchmarks: c.Benchmarks,
+		Cost:       costMap(c.Cost),
+	}
+}
+
+func costMap(m numa.CostModel) map[string]float64 {
+	return map[string]float64{
+		"local_byte_cost":    m.LocalByteCost,
+		"remote_penalty":     m.RemotePenalty,
+		"compute_unit_cost":  m.ComputeUnitCost,
+		"node_overhead":      float64(m.NodeOverhead),
+		"edge_overhead":      float64(m.EdgeOverhead),
+		"steal_attempt_cost": float64(m.StealAttemptCost),
+		"steal_success_cost": float64(m.StealSuccessCost),
+	}
+}
+
+// experiments maps each experiment name to its report builder, in display
+// order.
+var experiments = []struct {
+	name  string
+	build func(Config) (*perf.Report, error)
+}{
+	{"table1", table1Report},
+	{"fig6", fig6Report},
+	{"fig7", fig7Report},
+	{"fig8", fig8Report},
+	{"fig9", fig9Report},
+	{"table2", table2Report},
+	{"table3", table3Report},
+	{"ablate", ablateReport},
+	{"hier", hierReport},
 }
 
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "ablate", "hier"}
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.name
+	}
+	return out
 }
 
-// Run executes the named experiment ("all" runs everything).
+// ValidExperiment reports whether name is runnable ("all" included).
+func ValidExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reports builds the typed reports for the named experiment ("all" builds
+// every experiment) without rendering anything.
+func Reports(name string, cfg Config) ([]*perf.Report, error) {
+	cfg = cfg.withDefaults()
+	if name == "all" {
+		out := make([]*perf.Report, 0, len(experiments))
+		for _, e := range experiments {
+			r, err := e.build(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.name, err)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			r, err := e.build(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			return []*perf.Report{r}, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v, all)", name, Experiments())
+}
+
+// Document builds the reports for the named experiment and wraps them in
+// a sim-kind perf.Document (the JSON emission form).
+func Document(name string, cfg Config) (*perf.Document, error) {
+	reports, err := Reports(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	doc := perf.NewDocument(perf.KindSim)
+	for _, r := range reports {
+		doc.AddReport(r)
+	}
+	return doc, nil
+}
+
+// Run executes the named experiment ("all" runs everything) and renders
+// it to cfg.Out in cfg.Format.
 func Run(name string, cfg Config) error {
 	cfg = cfg.withDefaults()
-	switch name {
-	case "table1":
-		return Table1(cfg)
-	case "fig6":
-		return Fig6(cfg)
-	case "fig7":
-		return Fig7(cfg)
-	case "fig8":
-		return Fig8(cfg)
-	case "fig9":
-		return Fig9(cfg)
-	case "table2":
-		return Table2(cfg)
-	case "table3":
-		return Table3(cfg)
-	case "ablate":
-		return Ablate(cfg)
-	case "hier":
-		return Hier(cfg)
-	case "all":
-		for _, e := range Experiments() {
-			if err := Run(e, cfg); err != nil {
+	switch cfg.Format {
+	case FormatTable, FormatCSV, FormatJSON:
+	default:
+		return fmt.Errorf("harness: unknown format %q (have %v)", cfg.Format, Formats())
+	}
+	if cfg.Format == FormatJSON {
+		doc, err := Document(name, cfg)
+		if err != nil {
+			return err
+		}
+		return perf.Encode(cfg.Out, doc)
+	}
+	reports, err := Reports(name, cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		if cfg.Format == FormatCSV {
+			if err := perf.WriteCSV(cfg.Out, r); err != nil {
 				return err
 			}
+		} else if err := perf.WriteText(cfg.Out, r); err != nil {
+			return err
 		}
-		return nil
-	default:
-		return fmt.Errorf("harness: unknown experiment %q (have %v, all)", name, Experiments())
 	}
+	return nil
 }
 
-func (c Config) emit(caption string, t *stats.Table) {
-	fmt.Fprintf(c.Out, "\n== %s ==\n", caption)
-	if c.CSV {
-		io.WriteString(c.Out, t.CSV())
-	} else {
-		io.WriteString(c.Out, t.String())
-	}
+func (c Config) newReport(experiment string) *perf.Report {
+	return &perf.Report{Experiment: experiment, Config: c.runConfig()}
 }
 
 func (c Config) suite() ([]bench.Benchmark, error) {
@@ -127,68 +241,87 @@ func (c Config) runOMP(b bench.Benchmark, p int, sched omp.Schedule) (*simomp.Re
 	return simomp.Run(p, numa.Paper(p), c.Cost, sched, b.Sweeps(p))
 }
 
-// Table1 renders the benchmark configurations and serial times.
-func Table1(cfg Config) error {
-	cfg = cfg.withDefaults()
+func itoa(p int) string { return strconv.Itoa(p) }
+
+// table1Report builds the benchmark-configuration table (Table I).
+func table1Report(cfg Config) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := stats.NewTable("Benchmark", "Description", "Problem size", "Iterations",
-		"Task graph nodes", "Serial time (Mcycles)")
+	rep := cfg.newReport("table1")
+	t := perf.NewTable("table1",
+		"Table I: benchmark configurations and serial execution time",
+		"benchmark",
+		perf.M("iterations", "", perf.Neutral),
+		perf.M("graph_nodes", "", perf.Neutral),
+		perf.M("serial_mcycles", "Mcycles", perf.Neutral))
+	t.LabelCols = []string{"description", "problem_size"}
 	for _, b := range benches {
 		info := b.Info()
 		serial, err := cfg.serialTime(b)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow(info.Name, info.Description, info.ProblemSize, info.Iterations,
-			info.Nodes, float64(serial)/1e6)
+		t.AddLabeledRow(info.Name,
+			map[string]string{"description": info.Description, "problem_size": info.ProblemSize},
+			map[string]float64{
+				"iterations":     float64(info.Iterations),
+				"graph_nodes":    float64(info.Nodes),
+				"serial_mcycles": float64(serial) / 1e6,
+			})
 	}
-	cfg.emit("Table I: benchmark configurations and serial execution time", t)
-	return nil
+	rep.AddTable(t)
+	return rep, nil
 }
 
-// Fig6 renders speedup-vs-cores for every benchmark under all four
+// fig6Report builds speedup-vs-cores for every benchmark under all four
 // schedulers.
-func Fig6(cfg Config) error {
-	cfg = cfg.withDefaults()
+func fig6Report(cfg Config) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := cfg.newReport("fig6")
 	for _, b := range benches {
 		serial, err := cfg.serialTime(b)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t := stats.NewTable("P", "OpenMP-static", "OpenMP-guided", "Nabbit", "NabbitC")
+		t := perf.NewTable("fig6/"+b.Info().Name,
+			fmt.Sprintf("Fig 6 (%s): speedup over serial", b.Info().Name),
+			"P",
+			perf.M("speedup_omp_static", "x", perf.HigherIsBetter),
+			perf.M("speedup_omp_guided", "x", perf.HigherIsBetter),
+			perf.M("speedup_nabbit", "x", perf.HigherIsBetter),
+			perf.M("speedup_nabbitc", "x", perf.HigherIsBetter))
 		for _, p := range cfg.Cores {
 			st, err := cfg.runOMP(b, p, omp.Static)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			gd, err := cfg.runOMP(b, p, omp.Guided)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(p,
-				float64(serial)/float64(st.Time),
-				float64(serial)/float64(gd.Time),
-				float64(serial)/float64(nb.Makespan),
-				float64(serial)/float64(nc.Makespan))
+			t.AddRow(itoa(p), map[string]float64{
+				"speedup_omp_static": float64(serial) / float64(st.Time),
+				"speedup_omp_guided": float64(serial) / float64(gd.Time),
+				"speedup_nabbit":     float64(serial) / float64(nb.Makespan),
+				"speedup_nabbitc":    float64(serial) / float64(nc.Makespan),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Fig 6 (%s): speedup over serial", b.Info().Name), t)
+		rep.AddTable(t)
 	}
-	return nil
+	return rep, nil
 }
 
 // fig7Cores filters the sweep to >= 20 cores (below that the paper's
@@ -206,102 +339,126 @@ func fig7Cores(cores []int) []int {
 	return out
 }
 
-// Fig7 renders the percentage of remote accesses.
-func Fig7(cfg Config) error {
-	cfg = cfg.withDefaults()
+// fig7Report builds the percentage of remote accesses.
+func fig7Report(cfg Config) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := cfg.newReport("fig7")
 	for _, b := range benches {
-		t := stats.NewTable("P", "NabbitC %remote", "Nabbit %remote", "OpenMP-static %remote")
+		t := perf.NewTable("fig7/"+b.Info().Name,
+			fmt.Sprintf("Fig 7 (%s): %% accesses to remote NUMA domains", b.Info().Name),
+			"P",
+			perf.M("remote_pct_nabbitc", "%", perf.LowerIsBetter),
+			perf.M("remote_pct_nabbit", "%", perf.LowerIsBetter),
+			perf.M("remote_pct_omp_static", "%", perf.LowerIsBetter))
 		for _, p := range fig7Cores(cfg.Cores) {
 			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			st, err := cfg.runOMP(b, p, omp.Static)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(p, nc.RemotePercent(), nb.RemotePercent(), st.RemotePercent())
+			t.AddRow(itoa(p), map[string]float64{
+				"remote_pct_nabbitc":    nc.RemotePercent(),
+				"remote_pct_nabbit":     nb.RemotePercent(),
+				"remote_pct_omp_static": st.RemotePercent(),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Fig 7 (%s): %% accesses to remote NUMA domains", b.Info().Name), t)
+		rep.AddTable(t)
 	}
-	return nil
+	return rep, nil
 }
 
-// Fig8 renders average successful steals per worker.
-func Fig8(cfg Config) error {
-	cfg = cfg.withDefaults()
+// fig8Report builds average successful steals per worker.
+func fig8Report(cfg Config) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := cfg.newReport("fig8")
 	for _, b := range benches {
-		t := stats.NewTable("P", "NabbitC steals/worker", "Nabbit steals/worker")
+		t := perf.NewTable("fig8/"+b.Info().Name,
+			fmt.Sprintf("Fig 8 (%s): average successful steals", b.Info().Name),
+			"P",
+			perf.M("steals_per_worker_nabbitc", "", perf.Neutral),
+			perf.M("steals_per_worker_nabbit", "", perf.Neutral))
 		for _, p := range cfg.Cores {
 			if p < 2 {
 				continue
 			}
 			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(p, nc.AvgSuccessfulSteals(), nb.AvgSuccessfulSteals())
+			t.AddRow(itoa(p), map[string]float64{
+				"steals_per_worker_nabbitc": nc.AvgSuccessfulSteals(),
+				"steals_per_worker_nabbit":  nb.AvgSuccessfulSteals(),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Fig 8 (%s): average successful steals", b.Info().Name), t)
+		rep.AddTable(t)
 	}
-	return nil
+	return rep, nil
 }
 
-// Fig9 renders the average idle time before first work (forced first
+// fig9Report builds the average idle time before first work (forced first
 // colored steal) for the heat benchmark, like the paper ("we observed
 // this time was the same for all benchmarks").
-func Fig9(cfg Config) error {
-	cfg = cfg.withDefaults()
+func fig9Report(cfg Config) (*perf.Report, error) {
 	b, err := suite.Build("heat", cfg.Scale)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := stats.NewTable("P", "Avg time to first work (kcycles)", "First-steal checks (total)")
+	rep := cfg.newReport("fig9")
+	t := perf.NewTable("fig9/heat",
+		"Fig 9 (heat): idle time due to forcing the first colored steal",
+		"P",
+		perf.M("time_to_first_work_kcycles", "kcycles", perf.LowerIsBetter),
+		perf.M("first_steal_checks", "", perf.Neutral))
 	for _, p := range cfg.Cores {
 		nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow(p, float64(nc.AvgTimeToFirstWork())/1e3, nc.FirstStealChecks())
+		t.AddRow(itoa(p), map[string]float64{
+			"time_to_first_work_kcycles": float64(nc.AvgTimeToFirstWork()) / 1e3,
+			"first_steal_checks":         float64(nc.FirstStealChecks()),
+		})
 	}
-	cfg.emit("Fig 9 (heat): idle time due to forcing the first colored steal", t)
-	return nil
+	rep.AddTable(t)
+	return rep, nil
 }
 
-// coloringTable renders NabbitC-with-altered-coloring speedup over Nabbit
+// coloringReport builds NabbitC-with-altered-coloring speedup over Nabbit
 // for every benchmark at 20-80 cores (the shape of Tables II and III).
-func coloringTable(cfg Config, caption string, alter func(core.CostSpec, int) core.CostSpec) error {
+func coloringReport(cfg Config, name, caption string, alter func(core.CostSpec, int) core.CostSpec) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	header := []string{"P"}
-	for _, b := range benches {
-		header = append(header, b.Info().Name)
+	rep := cfg.newReport(name)
+	metrics := make([]perf.Metric, len(benches))
+	for i, b := range benches {
+		metrics[i] = perf.M("speedup_vs_nabbit/"+b.Info().Name, "x", perf.HigherIsBetter)
 	}
-	t := stats.NewTable(header...)
+	t := perf.NewTable(name, caption, "P", metrics...)
 	for _, p := range fig7Cores(cfg.Cores) {
-		row := []any{p}
+		row := make(map[string]float64, len(benches))
 		for _, b := range benches {
 			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			spec, sink := b.Model(p)
 			altered := alter(spec, p)
@@ -309,136 +466,172 @@ func coloringTable(cfg Config, caption string, alter func(core.CostSpec, int) co
 				Workers: p, Policy: core.NabbitCPolicy(), Cost: cfg.Cost,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			row = append(row, float64(nb.Makespan)/float64(nc.Makespan))
+			row["speedup_vs_nabbit/"+b.Info().Name] = float64(nb.Makespan) / float64(nc.Makespan)
 		}
-		t.AddRow(row...)
+		t.AddRow(itoa(p), row)
 	}
-	cfg.emit(caption, t)
-	return nil
+	rep.AddTable(t)
+	return rep, nil
 }
 
-// Table2 is the bad-coloring ablation: valid colors pointing at the wrong
-// domain.
-func Table2(cfg Config) error {
-	cfg = cfg.withDefaults()
-	return coloringTable(cfg,
+// table2Report is the bad-coloring ablation: valid colors pointing at the
+// wrong domain.
+func table2Report(cfg Config) (*perf.Report, error) {
+	return coloringReport(cfg, "table2",
 		"Table II: speedup of NabbitC over Nabbit under a bad (valid but wrong) coloring",
 		func(s core.CostSpec, p int) core.CostSpec { return bench.BadColoring(s, p) })
 }
 
-// Table3 is the invalid-coloring ablation: colors no worker owns, so all
-// colored steals fail.
-func Table3(cfg Config) error {
-	cfg = cfg.withDefaults()
-	return coloringTable(cfg,
+// table3Report is the invalid-coloring ablation: colors no worker owns, so
+// all colored steals fail.
+func table3Report(cfg Config) (*perf.Report, error) {
+	return coloringReport(cfg, "table3",
 		"Table III: speedup of NabbitC over Nabbit under an invalid coloring",
 		func(s core.CostSpec, _ int) core.CostSpec { return bench.InvalidColoring(s) })
 }
 
-// Hier is the hierarchical-stealing ablation: for every benchmark it
+// hierReport is the hierarchical-stealing ablation: for every benchmark it
 // compares Nabbit, flat NabbitC, and NabbitC with the socket-tier colored
 // steal protocol plus batched cross-socket steals (NabbitC-hier), and
 // reports where the hierarchical policy's steals were served from.
-func Hier(cfg Config) error {
-	cfg = cfg.withDefaults()
+func hierReport(cfg Config) (*perf.Report, error) {
 	benches, err := cfg.suite()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := cfg.newReport("hier")
 	for _, b := range benches {
 		serial, err := cfg.serialTime(b)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t := stats.NewTable("P", "Nabbit", "NabbitC", "NabbitC-hier", "hier/NabbitC",
-			"hier remote %", "socket steal %", "avg batch")
+		t := perf.NewTable("hier/"+b.Info().Name,
+			fmt.Sprintf("Hier ablation (%s): flat vs socket-tier colored stealing", b.Info().Name),
+			"P",
+			perf.M("speedup_nabbit", "x", perf.HigherIsBetter),
+			perf.M("speedup_nabbitc", "x", perf.HigherIsBetter),
+			perf.M("speedup_hier", "x", perf.HigherIsBetter),
+			perf.M("hier_vs_flat", "x", perf.HigherIsBetter),
+			perf.M("hier_remote_pct", "%", perf.LowerIsBetter),
+			perf.M("socket_steal_pct", "%", perf.Neutral),
+			perf.M("avg_batch", "", perf.Neutral))
 		var lastHier *sim.Result // reused for the tier-anatomy table
 		for _, p := range cfg.Cores {
 			nb, err := cfg.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nc, err := cfg.runTaskGraph(b, p, core.NabbitCPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nh, err := cfg.runTaskGraph(b, p, core.NabbitCHierPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			lastHier = nh
-			t.AddRow(p,
-				float64(serial)/float64(nb.Makespan),
-				float64(serial)/float64(nc.Makespan),
-				float64(serial)/float64(nh.Makespan),
-				float64(nc.Makespan)/float64(nh.Makespan),
-				nh.RemotePercent(),
-				nh.SocketStealPercent(),
-				nh.AvgBatchSize())
+			t.AddRow(itoa(p), map[string]float64{
+				"speedup_nabbit":   float64(serial) / float64(nb.Makespan),
+				"speedup_nabbitc":  float64(serial) / float64(nc.Makespan),
+				"speedup_hier":     float64(serial) / float64(nh.Makespan),
+				"hier_vs_flat":     float64(nc.Makespan) / float64(nh.Makespan),
+				"hier_remote_pct":  nh.RemotePercent(),
+				"socket_steal_pct": nh.SocketStealPercent(),
+				"avg_batch":        nh.AvgBatchSize(),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Hier ablation (%s): flat vs socket-tier colored stealing", b.Info().Name), t)
+		rep.AddTable(t)
 
-		// Tier anatomy at the largest core count: where did the
-		// hierarchical policy's probes go, and how often did each tier
-		// pay off?
+		// Tier anatomy at the largest core count, straight off the
+		// simulator's named-metric plumbing: where did the hierarchical
+		// policy's probes go, and how often did each tier pay off?
 		p := cfg.Cores[len(cfg.Cores)-1]
-		nh := lastHier
-		at, ts := nh.TierAttempts(), nh.TierSteals()
-		tt := stats.NewTable("Tier", "Attempts", "Steals", "Hit rate")
+		nhm := lastHier.Metrics()
+		tt := perf.NewTable(fmt.Sprintf("hier/%s/tiers", b.Info().Name),
+			fmt.Sprintf("Hier ablation (%s, P=%d): steal-tier anatomy", b.Info().Name, p),
+			"tier",
+			perf.M("attempts", "", perf.Neutral),
+			perf.M("steals", "", perf.Neutral),
+			perf.M("hit_rate", "", perf.Neutral))
 		for tier := core.StealTier(0); tier < core.NumStealTiers; tier++ {
-			tt.AddRow(tier.String(), at[tier], ts[tier], nh.TierHitRate(tier))
+			tt.AddRow(tier.String(), map[string]float64{
+				"attempts": nhm["tier_attempts/"+tier.String()],
+				"steals":   nhm["tier_steals/"+tier.String()],
+				"hit_rate": lastHier.TierHitRate(tier),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Hier ablation (%s, P=%d): steal-tier anatomy", b.Info().Name, p), tt)
+		rep.AddTable(tt)
 	}
-	return nil
+	return rep, nil
 }
 
-// Ablate sweeps NabbitC's design knobs on heat and page-uk-2002: the
-// colored-steal attempt budget, the forced first colored steal, and the
-// machine's remote penalty.
-func Ablate(cfg Config) error {
-	cfg = cfg.withDefaults()
+// ablateReport sweeps NabbitC's design knobs on heat and page-uk-2002:
+// the colored-steal attempt budget, the forced first colored steal, and
+// the machine's remote penalty.
+func ablateReport(cfg Config) (*perf.Report, error) {
 	names := []string{"heat", "page-uk-2002"}
 	p := cfg.Cores[len(cfg.Cores)-1]
+	rep := cfg.newReport("ablate")
 	for _, name := range names {
 		b, err := suite.Build(name, cfg.Scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		serial, err := cfg.serialTime(b)
 		if err != nil {
-			return err
+			return nil, err
 		}
 
-		t := stats.NewTable("ColoredStealAttempts", "Speedup", "Remote %", "Steals/worker")
+		t := perf.NewTable(fmt.Sprintf("ablate/%s/colored-attempts", name),
+			fmt.Sprintf("Ablation (%s, P=%d): colored-steal attempt budget", name, p),
+			"colored_steal_attempts",
+			perf.M("speedup", "x", perf.HigherIsBetter),
+			perf.M("remote_pct", "%", perf.LowerIsBetter),
+			perf.M("steals_per_worker", "", perf.Neutral))
 		for _, k := range []int{1, 2, 4, 8, 16} {
 			pol := core.NabbitCPolicy()
 			pol.ColoredStealAttempts = k
 			res, err := cfg.runTaskGraph(b, p, pol)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(k, float64(serial)/float64(res.Makespan), res.RemotePercent(),
-				res.AvgSuccessfulSteals())
+			t.AddRow(itoa(k), map[string]float64{
+				"speedup":           float64(serial) / float64(res.Makespan),
+				"remote_pct":        res.RemotePercent(),
+				"steals_per_worker": res.AvgSuccessfulSteals(),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): colored-steal attempt budget", name, p), t)
+		rep.AddTable(t)
 
-		t = stats.NewTable("ForceFirstColoredSteal", "Speedup", "Remote %", "First-steal checks")
+		t = perf.NewTable(fmt.Sprintf("ablate/%s/first-steal", name),
+			fmt.Sprintf("Ablation (%s, P=%d): forced first colored steal", name, p),
+			"force_first_colored_steal",
+			perf.M("speedup", "x", perf.HigherIsBetter),
+			perf.M("remote_pct", "%", perf.LowerIsBetter),
+			perf.M("first_steal_checks", "", perf.Neutral))
 		for _, force := range []bool{true, false} {
 			pol := core.NabbitCPolicy()
 			pol.ForceFirstColoredSteal = force
 			res, err := cfg.runTaskGraph(b, p, pol)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(force, float64(serial)/float64(res.Makespan), res.RemotePercent(),
-				res.FirstStealChecks())
+			t.AddRow(strconv.FormatBool(force), map[string]float64{
+				"speedup":            float64(serial) / float64(res.Makespan),
+				"remote_pct":         res.RemotePercent(),
+				"first_steal_checks": float64(res.FirstStealChecks()),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): forced first colored steal", name, p), t)
+		rep.AddTable(t)
 
-		t = stats.NewTable("RemotePenalty", "NabbitC speedup", "Nabbit speedup", "NabbitC/Nabbit")
+		t = perf.NewTable(fmt.Sprintf("ablate/%s/remote-penalty", name),
+			fmt.Sprintf("Ablation (%s, P=%d): NUMA remote penalty", name, p),
+			"remote_penalty",
+			perf.M("speedup_nabbitc", "x", perf.HigherIsBetter),
+			perf.M("speedup_nabbit", "x", perf.HigherIsBetter),
+			perf.M("nabbitc_vs_nabbit", "x", perf.HigherIsBetter))
 		for _, pen := range []float64{1.5, 2.5, 4.0} {
 			cost := cfg.Cost
 			cost.RemotePenalty = pen
@@ -446,21 +639,23 @@ func Ablate(cfg Config) error {
 			c2.Cost = cost
 			serial2, err := c2.serialTime(b)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nc, err := c2.runTaskGraph(b, p, core.NabbitCPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nb, err := c2.runTaskGraph(b, p, core.NabbitPolicy())
 			if err != nil {
-				return err
+				return nil, err
 			}
-			t.AddRow(pen, float64(serial2)/float64(nc.Makespan),
-				float64(serial2)/float64(nb.Makespan),
-				float64(nb.Makespan)/float64(nc.Makespan))
+			t.AddRow(strconv.FormatFloat(pen, 'g', -1, 64), map[string]float64{
+				"speedup_nabbitc":   float64(serial2) / float64(nc.Makespan),
+				"speedup_nabbit":    float64(serial2) / float64(nb.Makespan),
+				"nabbitc_vs_nabbit": float64(nb.Makespan) / float64(nc.Makespan),
+			})
 		}
-		cfg.emit(fmt.Sprintf("Ablation (%s, P=%d): NUMA remote penalty", name, p), t)
+		rep.AddTable(t)
 	}
-	return nil
+	return rep, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nabbitc/internal/bench"
+	"nabbitc/internal/perf"
 )
 
 func smallCfg(buf *bytes.Buffer) Config {
@@ -56,8 +57,123 @@ func TestCSVOutput(t *testing.T) {
 	if err := Run("table1", cfg); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "Benchmark,Description") {
+	if !strings.Contains(buf.String(), "benchmark,description") {
 		t.Fatalf("no CSV header in output:\n%s", buf.String())
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf)
+	cfg.Format = FormatJSON
+	if err := Run("fig6", cfg); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := perf.Decode(&buf)
+	if err != nil {
+		t.Fatalf("emitted JSON does not decode: %v", err)
+	}
+	if doc.Kind != perf.KindSim || doc.SchemaVersion != perf.SchemaVersion {
+		t.Fatalf("bad envelope: kind=%q version=%d", doc.Kind, doc.SchemaVersion)
+	}
+	if len(doc.Reports) != 1 || doc.Reports[0].Experiment != "fig6" {
+		t.Fatalf("expected one fig6 report, got %+v", doc.Reports)
+	}
+	// One table per benchmark, one row per core count, four schedulers.
+	rep := doc.Reports[0]
+	if len(rep.Tables) != 2 {
+		t.Fatalf("expected 2 tables (heat, cg), got %d", len(rep.Tables))
+	}
+	for _, tab := range rep.Tables {
+		if len(tab.Rows) != 3 {
+			t.Fatalf("%s: expected 3 rows, got %d", tab.Name, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if len(row.Values) != 4 {
+				t.Fatalf("%s[%s]: expected 4 scheduler metrics, got %v", tab.Name, row.Key, row.Values)
+			}
+		}
+	}
+}
+
+// TestJSONDeterministic is the acceptance property the perf gate rests
+// on: the same config encodes to byte-identical JSON, run to run.
+func TestJSONDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		cfg := smallCfg(&buf)
+		cfg.Format = FormatJSON
+		if err := Run("fig6", cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs emitted different JSON:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestSelfCompare: a document compared against itself passes the gate
+// with geomean exactly 1; a worsened copy fails it.
+func TestSelfCompare(t *testing.T) {
+	cfg := smallCfg(&bytes.Buffer{})
+	doc, err := Document("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Document("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := perf.Compare(doc, doc2, perf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ok() || c.Geomean != 1 {
+		t.Fatalf("self-compare failed: ok=%v geomean=%v regressions=%v",
+			c.Ok(), c.Geomean, c.Regressions())
+	}
+	// Worsen one speedup by 50% — well past any tolerance.
+	row := doc2.Reports[0].Tables[0].Rows[0]
+	row.Values["speedup_nabbitc"] *= 0.5
+	c, err = perf.Compare(doc, doc2, perf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ok() || len(c.Regressions()) != 1 {
+		t.Fatalf("mutated document passed the gate: %+v", c.Regressions())
+	}
+}
+
+// TestWallclock runs the real-engine perf runner on one small benchmark
+// and checks the schema comes out coherent.
+func TestWallclock(t *testing.T) {
+	doc, err := WallclockDocument(WallclockConfig{
+		Scale:      bench.ScaleSmall,
+		Benchmarks: []string{"heat"},
+		Workers:    4,
+		Repeats:    1,
+		Revision:   "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != perf.KindWallclock || doc.Revision != "test" || doc.CreatedAt == "" {
+		t.Fatalf("bad envelope: %+v", doc)
+	}
+	var buf bytes.Buffer
+	if err := perf.Encode(&buf, doc); err != nil {
+		t.Fatalf("wallclock document does not validate: %v", err)
+	}
+	tab := doc.Reports[0].Tables[0]
+	if len(tab.Rows) != 4 { // serial + three policies
+		t.Fatalf("expected serial+3 policy rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row.Values["wall_ns_min"] <= 0 {
+			t.Fatalf("%s: non-positive wall_ns_min", row.Key)
+		}
 	}
 }
 

@@ -78,7 +78,7 @@ func TestHierExperimentEmitsComparison(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"NabbitC-hier", "socket steal %", "steal-tier anatomy", "socket-colored"} {
+	for _, want := range []string{"speedup_hier", "socket_steal_pct", "steal-tier anatomy", "socket-colored"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("hier output missing %q:\n%s", want, out)
 		}

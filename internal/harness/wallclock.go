@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nabbitc/internal/bench"
+	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
+	"nabbitc/internal/numa"
+	"nabbitc/internal/perf"
+)
+
+// WallclockConfig parameterizes the wall-clock (real-engine) perf runner.
+type WallclockConfig struct {
+	// Scale selects benchmark sizes (default bench.ScaleSmall — wall
+	// clock runs are for trend tracking, not paper regeneration).
+	Scale bench.Scale
+	// Benchmarks restricts the suite (default: all of Table I).
+	Benchmarks []string
+	// Workers is the host worker count (default min(8, NumCPU)).
+	Workers int
+	// Repeats is how many times each configuration runs; the minimum
+	// wall time is the headline number (default 3).
+	Repeats int
+	// Revision stamps the emitted document (e.g. a git short hash).
+	Revision string
+	// now overrides the clock stamp in tests.
+	now func() time.Time
+}
+
+func (c WallclockConfig) withDefaults() WallclockConfig {
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = suite.Names()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// wallclockPolicies are the scheduler variants the runner times, with the
+// synthetic 2-core-socket topology that lets the hierarchical tiers
+// engage on a UMA host.
+func wallclockPolicies(workers int) []struct {
+	name string
+	opts core.Options
+} {
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"nabbit", core.Options{Workers: workers, Policy: core.NabbitPolicy()}},
+		{"nabbitc", core.Options{Workers: workers, Policy: core.NabbitCPolicy()}},
+		{"nabbitc-hier", core.Options{
+			Workers:  workers,
+			Policy:   core.NabbitCHierPolicy(),
+			Topology: numa.Topology{Workers: workers, CoresPerDomain: 2},
+		}},
+	}
+}
+
+// WallclockReport runs the real-engine suite on host cores and aggregates
+// it into the structured schema: per (benchmark, policy) rows of minimum/
+// mean wall-clock ns, speedup over the serial kernel, and the engine's
+// steal anatomy.
+func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &perf.Report{
+		Experiment: "wallclock",
+		Config: perf.RunConfig{
+			Scale:      cfg.Scale.String(),
+			Benchmarks: cfg.Benchmarks,
+			Workers:    cfg.Workers,
+			Repeats:    cfg.Repeats,
+		},
+	}
+	for _, name := range cfg.Benchmarks {
+		t := perf.NewTable("wallclock/"+name,
+			fmt.Sprintf("Wall clock (%s): real engine on %d host workers, min of %d runs",
+				name, cfg.Workers, cfg.Repeats),
+			"run",
+			perf.M("wall_ns_min", "ns", perf.LowerIsBetter),
+			perf.M("wall_ns_mean", "ns", perf.Neutral),
+			perf.M("speedup_vs_serial", "x", perf.HigherIsBetter),
+			perf.M("nodes_executed", "", perf.Neutral),
+			perf.M("steals_per_worker", "", perf.Neutral),
+			perf.M("socket_steal_pct", "%", perf.Neutral),
+			perf.M("avg_batch", "", perf.Neutral))
+
+		// Serial baseline: the kernel itself, one thread, no engine.
+		serialMin, serialMean, _, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
+			r, err := suite.BuildReal(name, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			return func() (*core.Stats, error) {
+				r.RunSerial()
+				return nil, nil
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wallclock %s serial: %w", name, err)
+		}
+		t.AddRow("serial", map[string]float64{
+			"wall_ns_min":  float64(serialMin),
+			"wall_ns_mean": float64(serialMean),
+		})
+
+		for _, pol := range wallclockPolicies(cfg.Workers) {
+			pol := pol
+			min, mean, last, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
+				r, err := suite.BuildReal(name, cfg.Scale)
+				if err != nil {
+					return nil, err
+				}
+				spec, sink := r.Spec(cfg.Workers)
+				return func() (*core.Stats, error) {
+					return core.Run(spec, sink, pol.opts)
+				}, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("wallclock %s/%s: %w", name, pol.name, err)
+			}
+			m := last.Metrics()
+			t.AddRow(pol.name, map[string]float64{
+				"wall_ns_min":       float64(min),
+				"wall_ns_mean":      float64(mean),
+				"speedup_vs_serial": float64(serialMin) / float64(min),
+				"nodes_executed":    m["nodes_executed"],
+				"steals_per_worker": m["steals_per_worker"],
+				"socket_steal_pct":  m["socket_steal_pct"],
+				"avg_batch":         m["avg_batch"],
+			})
+		}
+		rep.AddTable(t)
+	}
+	return rep, nil
+}
+
+// WallclockDocument wraps the wall-clock report in a stamped document
+// (kind "wallclock"): the BENCH_<rev>.json payload.
+func WallclockDocument(cfg WallclockConfig) (*perf.Document, error) {
+	cfg = cfg.withDefaults()
+	rep, err := WallclockReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	doc := perf.NewDocument(perf.KindWallclock)
+	doc.Revision = cfg.Revision
+	doc.CreatedAt = cfg.now().UTC().Format(time.RFC3339)
+	doc.AddReport(rep)
+	return doc, nil
+}
+
+// timeRuns calls setup (untimed: benchmark construction, graph
+// generation) then times the returned run closure, repeats times. It
+// returns the minimum and mean elapsed ns over the runs and the last
+// run's stats (nil when the run reports none), so only the scheduler —
+// not data-structure construction — lands in the wall-clock metrics.
+func timeRuns(repeats int, setup func() (func() (*core.Stats, error), error)) (min, mean int64, last *core.Stats, err error) {
+	var total int64
+	for i := 0; i < repeats; i++ {
+		run, err := setup()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		start := time.Now()
+		st, err := run()
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if elapsed < 1 {
+			elapsed = 1 // keep ratios finite on a too-fast clock
+		}
+		if st != nil {
+			last = st
+		}
+		total += elapsed
+		if i == 0 || elapsed < min {
+			min = elapsed
+		}
+	}
+	return min, total / int64(repeats), last, nil
+}

@@ -1,0 +1,319 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options configures a comparison.
+type Options struct {
+	// Tolerance is the allowed relative worsening per metric before a
+	// delta counts as a regression (0.05 = 5%). Zero means "use the
+	// default"; pass a negative value for an exact-match gate.
+	Tolerance float64
+	// Strict flags ANY value change — improvements and neutral drift
+	// included — as failing. Useful for checking determinism of sim
+	// documents, where identical configs must produce identical values.
+	Strict bool
+}
+
+// DefaultTolerance is the gate's allowed relative worsening.
+const DefaultTolerance = 0.05
+
+func (o Options) withDefaults() Options {
+	if o.Tolerance == 0 {
+		o.Tolerance = DefaultTolerance
+	}
+	if o.Tolerance < 0 {
+		o.Tolerance = 0
+	}
+	return o
+}
+
+// Delta is one metric compared across two documents.
+type Delta struct {
+	Report, Table, RowKey, Metric string
+	Direction                     Direction
+	Old, New                      float64
+	// Ratio is the improvement ratio (>1 better, 1 unchanged). It is 0
+	// when a zero baseline worsened and +Inf when a zero baseline
+	// improved; both are excluded from geomeans.
+	Ratio float64
+	// Regressed reports whether the change worsens the metric beyond
+	// tolerance (never true for Neutral metrics).
+	Regressed bool
+	// Changed reports whether the value differs at all.
+	Changed bool
+}
+
+// Path renders the delta's identity.
+func (d Delta) Path() string {
+	return fmt.Sprintf("%s[%s].%s", tableKey(d.Report, d.Table), d.RowKey, d.Metric)
+}
+
+// Comparison is the result of comparing two documents.
+type Comparison struct {
+	Tolerance float64
+	Strict    bool
+	// Deltas holds every metric present on both sides, in the new
+	// document's order.
+	Deltas []Delta
+	// Missing lists identities present in the baseline but absent from
+	// the new document; Added the reverse.
+	Missing, Added []string
+	// Warnings notes non-fatal mismatches (e.g. differing run configs).
+	Warnings []string
+	// Compared counts directional (non-Neutral) metrics compared.
+	Compared int
+	// Geomean is the geometric mean improvement ratio over directional
+	// metrics (1.0 = unchanged); PerTable breaks it down by
+	// "report/table".
+	Geomean  float64
+	PerTable map[string]float64
+}
+
+// Regressions returns the deltas that fail the gate: worsened beyond
+// tolerance, or (in strict mode) changed at all.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed || (c.Strict && d.Changed) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Ok reports whether the gate passes (no regressions, and in strict mode
+// no missing rows either).
+func (c *Comparison) Ok() bool {
+	if len(c.Regressions()) > 0 {
+		return false
+	}
+	if c.Strict && (len(c.Missing) > 0 || len(c.Added) > 0) {
+		return false
+	}
+	return true
+}
+
+// ratio returns the improvement ratio for a directional metric.
+func ratio(dir Direction, old, new float64) float64 {
+	if old == new {
+		return 1
+	}
+	if dir == LowerIsBetter {
+		old, new = new, old // now higher-is-better
+	}
+	// Multiplicative ratios only mean something for positive values. At
+	// or below zero, report pure direction: +Inf for an improvement, 0
+	// for a worsening — both gate correctly and both are excluded from
+	// geomeans.
+	if old <= 0 || new <= 0 {
+		if new > old {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return new / old
+}
+
+// Compare evaluates the new document against a baseline. It errors when
+// the documents' kinds differ or when nothing comparable overlaps (a sign
+// the runs used disjoint configurations).
+func Compare(base, cur *Document, opts Options) (*Comparison, error) {
+	opts = opts.withDefaults()
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return nil, fmt.Errorf("new: %w", err)
+	}
+	if base.Kind != cur.Kind {
+		return nil, fmt.Errorf("perf: comparing %q document against %q baseline", cur.Kind, base.Kind)
+	}
+	c := &Comparison{Tolerance: opts.Tolerance, Strict: opts.Strict, PerTable: map[string]float64{}}
+
+	type rowIdx struct {
+		dirs   map[string]Direction
+		values map[string]float64
+	}
+	baseIdx := map[string]rowIdx{} // "report\x00table\x00row" -> values
+	id := func(rep, tab, row string) string { return rep + "\x00" + tab + "\x00" + row }
+	for _, rep := range base.Reports {
+		for _, t := range rep.Tables {
+			dirs := map[string]Direction{}
+			for _, m := range t.Metrics {
+				dirs[m.Name] = m.Direction
+			}
+			for _, r := range t.Rows {
+				baseIdx[id(rep.Experiment, t.Name, r.Key)] = rowIdx{dirs: dirs, values: r.Values}
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	comparedMetric := map[string]bool{} // id + "\x00" + metric name
+	logSum := map[string]float64{}      // per "report/table" log-ratio sums
+	logN := map[string]float64{}
+	var totalLog float64
+	var totalN int
+	for _, rep := range cur.Reports {
+		for _, t := range rep.Tables {
+			for _, r := range t.Rows {
+				key := id(rep.Experiment, t.Name, r.Key)
+				b, ok := baseIdx[key]
+				if !ok {
+					c.Added = append(c.Added,
+						fmt.Sprintf("%s[%s]", tableKey(rep.Experiment, t.Name), r.Key))
+					continue
+				}
+				seen[key] = true
+				for _, m := range t.Metrics {
+					nv, ok := r.Values[m.Name]
+					if !ok {
+						continue
+					}
+					ov, ok := b.values[m.Name]
+					if !ok {
+						c.Added = append(c.Added,
+							fmt.Sprintf("%s[%s].%s", tableKey(rep.Experiment, t.Name), r.Key, m.Name))
+						continue
+					}
+					comparedMetric[key+"\x00"+m.Name] = true
+					d := Delta{
+						Report: rep.Experiment, Table: t.Name, RowKey: r.Key, Metric: m.Name,
+						Direction: m.Direction, Old: ov, New: nv,
+						Ratio: 1, Changed: nv != ov,
+					}
+					if m.Direction != Neutral {
+						d.Ratio = ratio(m.Direction, ov, nv)
+						d.Regressed = d.Ratio < 1-opts.Tolerance
+						c.Compared++
+						if d.Ratio > 0 && !math.IsInf(d.Ratio, 0) {
+							lg := math.Log(d.Ratio)
+							tk := tableKey(rep.Experiment, t.Name)
+							logSum[tk] += lg
+							logN[tk]++
+							totalLog += lg
+							totalN++
+						}
+					}
+					c.Deltas = append(c.Deltas, d)
+				}
+			}
+		}
+	}
+	// Anything the baseline measured that the new document no longer
+	// reports — whole rows or single metrics — is Missing, so the gate
+	// cannot be blinded by a metric silently disappearing.
+	for _, rep := range base.Reports {
+		for _, t := range rep.Tables {
+			for _, r := range t.Rows {
+				key := id(rep.Experiment, t.Name, r.Key)
+				if !seen[key] {
+					c.Missing = append(c.Missing,
+						fmt.Sprintf("%s[%s]", tableKey(rep.Experiment, t.Name), r.Key))
+					continue
+				}
+				for _, m := range t.Metrics {
+					if _, ok := r.Values[m.Name]; !ok {
+						continue
+					}
+					if !comparedMetric[key+"\x00"+m.Name] {
+						c.Missing = append(c.Missing,
+							fmt.Sprintf("%s[%s].%s", tableKey(rep.Experiment, t.Name), r.Key, m.Name))
+					}
+				}
+			}
+		}
+	}
+	if c.Compared == 0 {
+		return nil, fmt.Errorf("perf: no overlapping directional metrics between baseline and new document (mismatched configurations?)")
+	}
+	c.Geomean = 1
+	if totalN > 0 {
+		c.Geomean = math.Exp(totalLog / float64(totalN))
+	}
+	for tk, s := range logSum {
+		c.PerTable[tk] = math.Exp(s / logN[tk])
+	}
+	if err := warnConfigMismatch(base, cur, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// tableKey names a table for per-table geomeans without repeating the
+// experiment prefix most table names already carry.
+func tableKey(experiment, table string) string {
+	if table == experiment || strings.HasPrefix(table, experiment+"/") {
+		return table
+	}
+	return experiment + "/" + table
+}
+
+// warnConfigMismatch appends warnings when matching reports ran under
+// different configurations.
+func warnConfigMismatch(base, cur *Document, c *Comparison) error {
+	baseCfg := map[string]RunConfig{}
+	for _, rep := range base.Reports {
+		baseCfg[rep.Experiment] = rep.Config
+	}
+	for _, rep := range cur.Reports {
+		b, ok := baseCfg[rep.Experiment]
+		if !ok {
+			continue
+		}
+		if fmt.Sprintf("%v", b) != fmt.Sprintf("%v", rep.Config) {
+			c.Warnings = append(c.Warnings,
+				fmt.Sprintf("%s: run configs differ (baseline %v vs new %v)", rep.Experiment, b, rep.Config))
+		}
+	}
+	return nil
+}
+
+// WriteText renders a human-readable comparison summary: the gate
+// verdict, per-table geomeans, and every failing delta.
+func (c *Comparison) WriteText(w io.Writer) error {
+	regs := c.Regressions()
+	fmt.Fprintf(w, "compared %d directional metrics (tolerance %.1f%%", c.Compared, 100*c.Tolerance)
+	if c.Strict {
+		fmt.Fprintf(w, ", strict")
+	}
+	fmt.Fprintf(w, ")\n")
+	for _, warn := range c.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	tables := make([]string, 0, len(c.PerTable))
+	for tk := range c.PerTable {
+		tables = append(tables, tk)
+	}
+	sort.Strings(tables)
+	for _, tk := range tables {
+		fmt.Fprintf(w, "  geomean %-40s %.4fx\n", tk, c.PerTable[tk])
+	}
+	fmt.Fprintf(w, "overall geomean improvement: %.4fx\n", c.Geomean)
+	if len(c.Missing) > 0 {
+		fmt.Fprintf(w, "missing from new document (%d): %v\n", len(c.Missing), c.Missing)
+	}
+	if len(c.Added) > 0 {
+		fmt.Fprintf(w, "added since baseline (%d): %v\n", len(c.Added), c.Added)
+	}
+	if len(regs) == 0 {
+		if !c.Ok() {
+			fmt.Fprintf(w, "FAIL: strict mode: baseline and new document cover different rows/metrics\n")
+			return nil
+		}
+		fmt.Fprintf(w, "PASS: no regressions\n")
+		return nil
+	}
+	fmt.Fprintf(w, "FAIL: %d regression(s)\n", len(regs))
+	for _, d := range regs {
+		fmt.Fprintf(w, "  %-60s %s  %.6g -> %.6g (ratio %.4f)\n",
+			d.Path(), d.Direction, d.Old, d.New, d.Ratio)
+	}
+	return nil
+}

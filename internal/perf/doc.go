@@ -1,0 +1,43 @@
+// Package perf defines the structured experiment-report schema the
+// harness emits, its JSON serialization, and the baseline comparator the
+// perf-regression gate is built on.
+//
+// Every experiment run produces a [Document]: a versioned envelope holding
+// one [Report] per experiment, each report holding [Table]s of keyed rows
+// whose cells are named, direction-annotated metrics (sim cycles, speedup,
+// steal-tier counts, remote-access fractions, wall-clock ns). The
+// human-readable table and CSV outputs are renderers over the same value
+// ([WriteText], [WriteCSV]); JSON ([Encode]) is the machine-readable form
+// CI diffs.
+//
+// # Schema versioning policy
+//
+// The JSON schema carries an integer version, [SchemaVersion], in the
+// document envelope's "schema_version" field. The policy is:
+//
+//   - Additive changes (new optional fields, new metrics, new tables) do
+//     NOT bump the version. Decoders must tolerate unknown fields, and
+//     the comparator treats rows/metrics present on only one side as
+//     additions/removals, never as errors.
+//   - Breaking changes (renaming or re-typing existing fields, changing
+//     the meaning of an existing metric name, changing row identity) bump
+//     SchemaVersion by one and must be noted in this comment.
+//   - [Decode] rejects documents with a version newer than this package
+//     understands ("written by a newer tool") and documents with a
+//     missing/zero version. Older versions, once any exist, are migrated
+//     in Decode so the rest of the package only ever sees the current
+//     shape.
+//
+// Version history:
+//
+//	1 — initial schema (document/report/table/row/metric as above).
+//
+// # Determinism
+//
+// Encode is byte-deterministic for a given Document: maps serialize with
+// sorted keys (encoding/json), floats round-trip exactly, and nothing in
+// the envelope is time-dependent unless the producer explicitly stamps
+// CreatedAt (the wall-clock runner does; the simulator harness does not).
+// Two runs of the deterministic simulator therefore produce byte-identical
+// files, which is what lets CI diff them.
+package perf

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+
+	"nabbitc/internal/stats"
+)
+
+// renderTable lowers one typed table onto the text/CSV formatter.
+func renderTable(t *Table) *stats.Table {
+	header := []string{t.KeyName}
+	header = append(header, t.LabelCols...)
+	for _, m := range t.Metrics {
+		h := m.Name
+		if m.Unit != "" {
+			h += " (" + m.Unit + ")"
+		}
+		header = append(header, h)
+	}
+	out := stats.NewTable(header...)
+	for _, r := range t.Rows {
+		cells := []any{r.Key}
+		for _, lc := range t.LabelCols {
+			cells = append(cells, r.Labels[lc])
+		}
+		for _, m := range t.Metrics {
+			if v, ok := r.Values[m.Name]; ok {
+				cells = append(cells, v)
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		out.AddRow(cells...)
+	}
+	return out
+}
+
+// WriteText renders every table of the report as aligned text, one "=="
+// captioned block per table — the harness's classic output.
+func WriteText(w io.Writer, r *Report) error {
+	for _, t := range r.Tables {
+		caption := t.Caption
+		if caption == "" {
+			caption = t.Name
+		}
+		if _, err := fmt.Fprintf(w, "\n== %s ==\n", caption); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, renderTable(t).String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders every table of the report as comma-separated values
+// with the same captioned blocks.
+func WriteCSV(w io.Writer, r *Report) error {
+	for _, t := range r.Tables {
+		caption := t.Caption
+		if caption == "" {
+			caption = t.Name
+		}
+		if _, err := fmt.Fprintf(w, "\n== %s ==\n", caption); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, renderTable(t).CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

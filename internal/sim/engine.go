@@ -125,7 +125,7 @@ type event struct {
 
 // eventHeap is a binary min-heap on (at, seq).
 type eventHeap struct {
-	evs    []event
+	evs     []event
 	nextSeq int64
 }
 
@@ -199,15 +199,15 @@ type worker struct {
 }
 
 type engine struct {
-	opts    Options
-	spec    core.CostSpec
-	nodes   map[core.Key]*node
-	workers []*worker
-	sinkKey core.Key
-	evq     eventHeap
-	done    bool
+	opts     Options
+	spec     core.CostSpec
+	nodes    map[core.Key]*node
+	workers  []*worker
+	sinkKey  core.Key
+	evq      eventHeap
+	done     bool
 	makespan int64
-	created int
+	created  int
 }
 
 // Run executes the task graph on the simulated machine and returns virtual

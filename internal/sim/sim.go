@@ -238,6 +238,31 @@ func (r *Result) FirstStealChecks() int64 {
 	return n
 }
 
+// Metrics returns the run's standard named-metric set — the values the
+// structured report pipeline (internal/perf) records for every simulated
+// run: makespan cycles, locality fractions, steal anatomy per tier, and
+// batch sizes. Names match core.Stats.Metrics so sim and wall-clock
+// documents share a vocabulary.
+func (r *Result) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"makespan_cycles":           float64(r.Makespan),
+		"nodes_executed":            float64(r.TotalNodes()),
+		"remote_pct":                r.RemotePercent(),
+		"steals_per_worker":         r.AvgSuccessfulSteals(),
+		"steal_attempts":            float64(r.StealAttempts()),
+		"first_steal_checks":        float64(r.FirstStealChecks()),
+		"time_to_first_work_cycles": float64(r.AvgTimeToFirstWork()),
+		"socket_steal_pct":          r.SocketStealPercent(),
+		"avg_batch":                 r.AvgBatchSize(),
+	}
+	at, ts := r.TierAttempts(), r.TierSteals()
+	for t := core.StealTier(0); t < core.NumStealTiers; t++ {
+		m["tier_attempts/"+t.String()] = float64(at[t])
+		m["tier_steals/"+t.String()] = float64(ts[t])
+	}
+	return m
+}
+
 // SerialTime returns the virtual time a single worker with all data local
 // takes to execute the graph: the T1 baseline for speedup, matching the
 // paper's serial runs where a single thread first-touches all of its data.
