@@ -16,7 +16,9 @@ import (
 	"nabbitc/internal/bench/stencil"
 	"nabbitc/internal/bench/suite"
 	"nabbitc/internal/bench/sw"
+	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
+	"nabbitc/internal/deque"
 	"nabbitc/internal/harness"
 	"nabbitc/internal/numa"
 	"nabbitc/internal/omp"
@@ -35,6 +37,7 @@ func harnessCfg() harness.Config {
 
 // BenchmarkTable1 regenerates the benchmark-configuration table.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("table1", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -44,6 +47,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig6 regenerates a speedup-vs-cores sweep.
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("fig6", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -53,6 +57,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates the remote-access percentages.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("fig7", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -62,6 +67,7 @@ func BenchmarkFig7(b *testing.B) {
 
 // BenchmarkFig8 regenerates the successful-steal comparison.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("fig8", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -71,6 +77,7 @@ func BenchmarkFig8(b *testing.B) {
 
 // BenchmarkFig9 regenerates the first-steal idle-time series.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("fig9", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -80,6 +87,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkTable2 regenerates the bad-coloring ablation.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("table2", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -89,6 +97,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable3 regenerates the invalid-coloring ablation.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("table3", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -98,6 +107,7 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkHier regenerates the hierarchical-stealing ablation.
 func BenchmarkHier(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := harness.Run("hier", harnessCfg()); err != nil {
 			b.Fatal(err)
@@ -107,6 +117,7 @@ func BenchmarkHier(b *testing.B) {
 
 // benchSim measures one simulated run of the named benchmark.
 func benchSim(b *testing.B, name string, p int, pol core.Policy) {
+	b.ReportAllocs()
 	bm, err := suite.Build(name, bench.ScaleSmall)
 	if err != nil {
 		b.Fatal(err)
@@ -134,6 +145,7 @@ func BenchmarkSimPageUKNabbitCHier80(b *testing.B) {
 
 // BenchmarkSimOMP measures the simulated OpenMP loop baseline.
 func BenchmarkSimOMPStaticHeat80(b *testing.B) {
+	b.ReportAllocs()
 	bm, err := suite.Build("heat", bench.ScaleSmall)
 	if err != nil {
 		b.Fatal(err)
@@ -150,12 +162,14 @@ func BenchmarkSimOMPStaticHeat80(b *testing.B) {
 // Wall-clock benches of the real engine on host cores.
 
 func BenchmarkRealHeatSerial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		stencil.Heat(bench.ScaleSmall).NewReal().RunSerial()
 	}
 }
 
 func BenchmarkRealHeatNabbit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := stencil.Heat(bench.ScaleSmall).NewReal()
 		spec, sink := r.Spec(8)
@@ -166,6 +180,7 @@ func BenchmarkRealHeatNabbit(b *testing.B) {
 }
 
 func BenchmarkRealHeatNabbitC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := stencil.Heat(bench.ScaleSmall).NewReal()
 		spec, sink := r.Spec(8)
@@ -179,6 +194,7 @@ func BenchmarkRealHeatNabbitC(b *testing.B) {
 // wall-clock on host cores, with workers grouped into synthetic 2-core
 // sockets so the socket tiers engage.
 func BenchmarkRealHeatNabbitCHier(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := stencil.Heat(bench.ScaleSmall).NewReal()
 		spec, sink := r.Spec(8)
@@ -194,6 +210,7 @@ func BenchmarkRealHeatNabbitCHier(b *testing.B) {
 }
 
 func BenchmarkRealHeatOpenMPStatic(b *testing.B) {
+	b.ReportAllocs()
 	team := omp.NewTeam(8)
 	defer team.Close()
 	b.ResetTimer()
@@ -203,6 +220,7 @@ func BenchmarkRealHeatOpenMPStatic(b *testing.B) {
 }
 
 func BenchmarkRealSWNabbitC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := sw.N3(bench.ScaleSmall).NewReal()
 		spec, sink := r.Spec(8)
@@ -213,6 +231,7 @@ func BenchmarkRealSWNabbitC(b *testing.B) {
 }
 
 func BenchmarkRealPageRankNabbitC(b *testing.B) {
+	b.ReportAllocs()
 	pr := pagerank.UK2002(bench.ScaleSmall)
 	pr.Graph() // generate once outside the loop
 	b.ResetTimer()
@@ -228,6 +247,7 @@ func BenchmarkRealPageRankNabbitC(b *testing.B) {
 // BenchmarkEngineOverhead measures raw per-task scheduling cost: a wide,
 // trivial graph of empty tasks.
 func BenchmarkEngineOverheadPerTask(b *testing.B) {
+	b.ReportAllocs()
 	const tasks = 10000
 	spec := core.FuncSpec{
 		PredsFn: func(k core.Key) []core.Key {
@@ -249,4 +269,48 @@ func BenchmarkEngineOverheadPerTask(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/tasks, "ns/task")
+}
+
+// BenchmarkPushPopSteal measures the scheduler's hottest cycle — owner
+// push, owner pop, colored steal — on both deque substrates. Steady-state
+// expectation, gated by CI's bench-smoke job: exactly 0 allocs/op for
+// both substrates (color capacities up to colorset.InlineColors, i.e. any
+// run at <=128 workers). The entry masks are inline colorset values and
+// the Chase–Lev slots store entries unboxed, so nothing on this path
+// touches the heap after the deque reaches its steady-state capacity.
+func BenchmarkPushPopSteal(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() deque.Queue[int]
+	}{
+		{"mutex", func() deque.Queue[int] { return deque.NewMutex[int](64) }},
+		{"chaselev", func() deque.Queue[int] { return deque.NewChaseLev[int](64) }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			q := impl.mk()
+			// Prewarm past any growth so the timed region is steady state.
+			for i := 0; i < 256; i++ {
+				q.PushBottom(deque.Entry[int]{Value: i, Colors: colorset.Of(80, i%80)})
+			}
+			for {
+				if _, ok := q.PopBottom(); !ok {
+					break
+				}
+			}
+			e := deque.Entry[int]{Value: 1, Colors: colorset.Of(80, 3)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.PushBottom(e)
+				q.PushBottom(e)
+				if _, ok := q.PopBottom(); !ok {
+					b.Fatal("pop failed")
+				}
+				if _, out := q.StealTopColored(3); out != deque.StealOK {
+					b.Fatalf("colored steal = %v", out)
+				}
+			}
+		})
+	}
 }

@@ -17,6 +17,9 @@
 //	nabbitbench bench -scale small               # wall-clock real-engine suite
 //	                                             # (emits BENCH_<rev>.json)
 //
+// The experiment and bench modes accept -cpuprofile/-memprofile to write
+// pprof profiles of the run alongside its report output.
+//
 // Exit codes: 0 success, 1 perf regression (compare), 2 usage or schema
 // error.
 package main
@@ -27,6 +30,8 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -68,6 +73,42 @@ func openOut(path string) (io.Writer, func() error, error) {
 	return f, f.Close, nil
 }
 
+// profileFlags registers -cpuprofile/-memprofile on fs and returns
+// start/finish hooks bracketing the profiled work: start begins the CPU
+// profile, finish stops it and writes the heap profile. Both are no-ops
+// for unset flags, so the emit → compare workflow can capture pprof
+// profiles from any mode without changing its output.
+func profileFlags(fs *flag.FlagSet) (start func() error, finish func() error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	start = func() error {
+		if *cpu == "" {
+			return nil
+		}
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return err
+		}
+		return pprof.StartCPUProfile(f)
+	}
+	finish = func() error {
+		if *cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if *mem == "" {
+			return nil
+		}
+		f, err := os.Create(*mem)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before snapshotting
+		return pprof.WriteHeapProfile(f)
+	}
+	return start, finish
+}
+
 func parseScale(s string) (bench.Scale, error) {
 	switch s {
 	case "default":
@@ -90,6 +131,7 @@ func runExperiments(args []string) int {
 		fmt.Sprintf("output format: %s (default table)", strings.Join(harness.Formats(), ", ")))
 	csv := fs.Bool("csv", false, "emit CSV (deprecated: use -format csv)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
+	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fail(2, "unexpected argument %q (modes: compare, validate, bench)", fs.Arg(0))
@@ -128,7 +170,16 @@ func runExperiments(args []string) int {
 		return fail(2, "%v", err)
 	}
 	cfg.Out = w
+	if err := profStart(); err != nil {
+		closeOut()
+		return fail(2, "%v", err)
+	}
 	if err := harness.Run(*experiment, cfg); err != nil {
+		profFinish()
+		closeOut()
+		return fail(1, "%v", err)
+	}
+	if err := profFinish(); err != nil {
 		closeOut()
 		return fail(1, "%v", err)
 	}
@@ -214,6 +265,7 @@ func runBench(args []string) int {
 	repeats := fs.Int("repeats", 3, "runs per configuration; min wall time is reported")
 	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
 	out := fs.String("out", "", "output file (default BENCH_<rev>.json)")
+	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fail(2, "unexpected argument %q", fs.Arg(0))
@@ -235,7 +287,13 @@ func runBench(args []string) int {
 	if cfg.Revision == "" {
 		cfg.Revision = gitRevision()
 	}
+	if err := profStart(); err != nil {
+		return fail(2, "%v", err)
+	}
 	doc, err := harness.WallclockDocument(cfg)
+	if perr := profFinish(); err == nil && perr != nil {
+		err = perr
+	}
 	if err != nil {
 		return fail(1, "%v", err)
 	}

@@ -8,9 +8,20 @@
 // can decide in O(1) whether a frame is worth a colored steal. A Set is
 // that array, packed 64 colors per word.
 //
+// Like the paper's constant-size flag arrays, small sets live entirely
+// inside the Set value: capacities up to InlineColors (128 — two words,
+// covering the paper's 80-worker machine) are stored in a fixed inline
+// array, so New, Add, and the steal-path predicates never touch the heap.
+// Only capacities beyond InlineColors spill to a heap-allocated word
+// slice.
+//
 // Sets are value types with capacity fixed at creation; operations on sets
 // of differing capacity panic, since that always indicates a scheduler
-// configured inconsistently.
+// configured inconsistently. Because small sets are stored by value,
+// assigning a Set copies it: mutating the copy does not affect the
+// original (spilled sets share their backing slice, so treat assignment
+// as transfer-of-ownership and use Clone when an independent spilled copy
+// is needed).
 package colorset
 
 import (
@@ -21,19 +32,36 @@ import (
 
 const wordBits = 64
 
+// InlineColors is the largest capacity stored inline in the Set value
+// (no heap allocation). It covers two 64-color words — enough for the
+// paper's 80-worker machine with room to spare.
+const InlineColors = 2 * wordBits
+
 // Set is a bitmask over colors [0, Cap). The zero value is an empty set of
 // capacity 0; use New to create a set able to hold colors.
+//
+// Mutating methods (Add, Remove, Clear, UnionWith, IntersectWith) use
+// pointer receivers so they work on the inline representation; predicates
+// take the set by value.
 type Set struct {
-	words []uint64
-	n     int // capacity in colors
+	lo, hi uint64   // inline words 0 and 1, authoritative when ext == nil
+	ext    []uint64 // all words, authoritative when n > InlineColors
+	n      int      // capacity in colors
 }
 
-// New returns an empty set with capacity for colors in [0, n).
+// wordsFor returns the number of 64-bit words covering n colors.
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// New returns an empty set with capacity for colors in [0, n). Capacities
+// up to InlineColors allocate nothing.
 func New(n int) Set {
 	if n < 0 {
 		panic("colorset: negative capacity")
 	}
-	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+	if n <= InlineColors {
+		return Set{n: n}
+	}
+	return Set{ext: make([]uint64, wordsFor(n)), n: n}
 }
 
 // Of returns a set with capacity n containing the given colors.
@@ -48,6 +76,17 @@ func Of(n int, colors ...int) Set {
 // Cap returns the capacity (number of representable colors).
 func (s Set) Cap() int { return s.n }
 
+// InlineWords returns the two inline bit words and true when the set is
+// stored inline (capacity <= InlineColors). Spilled sets return false; use
+// the general predicates for those. The lock-free deque uses this to keep
+// an atomically readable shadow of an entry's color mask.
+func (s Set) InlineWords() (lo, hi uint64, ok bool) {
+	if s.ext != nil {
+		return 0, 0, false
+	}
+	return s.lo, s.hi, true
+}
+
 // check panics if c is outside [0, s.n).
 func (s Set) check(c int) {
 	if c < 0 || c >= s.n {
@@ -56,30 +95,61 @@ func (s Set) check(c int) {
 }
 
 // Add inserts color c.
-func (s Set) Add(c int) {
+func (s *Set) Add(c int) {
 	s.check(c)
-	s.words[c/wordBits] |= 1 << (uint(c) % wordBits)
+	if s.ext == nil {
+		if c < wordBits {
+			s.lo |= 1 << uint(c)
+		} else {
+			s.hi |= 1 << uint(c-wordBits)
+		}
+		return
+	}
+	s.ext[c/wordBits] |= 1 << (uint(c) % wordBits)
 }
 
 // Remove deletes color c.
-func (s Set) Remove(c int) {
+func (s *Set) Remove(c int) {
 	s.check(c)
-	s.words[c/wordBits] &^= 1 << (uint(c) % wordBits)
+	if s.ext == nil {
+		if c < wordBits {
+			s.lo &^= 1 << uint(c)
+		} else {
+			s.hi &^= 1 << uint(c-wordBits)
+		}
+		return
+	}
+	s.ext[c/wordBits] &^= 1 << (uint(c) % wordBits)
 }
 
 // Has reports whether color c is present. Colors outside the capacity are
 // reported absent rather than panicking: a thief may legitimately probe
 // with its own color against a set built for a smaller run.
 func (s Set) Has(c int) bool {
-	if c < 0 || c/wordBits >= len(s.words) {
+	if c < 0 {
 		return false
 	}
-	return s.words[c/wordBits]&(1<<(uint(c)%wordBits)) != 0
+	if s.ext == nil {
+		if c < wordBits {
+			return s.lo&(1<<uint(c)) != 0
+		}
+		if c < InlineColors {
+			return s.hi&(1<<uint(c-wordBits)) != 0
+		}
+		return false
+	}
+	if c/wordBits >= len(s.ext) {
+		return false
+	}
+	return s.ext[c/wordBits]&(1<<(uint(c)%wordBits)) != 0
 }
 
 // Empty reports whether the set has no colors.
 func (s Set) Empty() bool {
-	for _, w := range s.words {
+	if s.ext == nil {
+		return s.lo|s.hi == 0
+	}
+	for _, w := range s.ext {
 		if w != 0 {
 			return false
 		}
@@ -89,8 +159,11 @@ func (s Set) Empty() bool {
 
 // Len returns the number of colors present.
 func (s Set) Len() int {
+	if s.ext == nil {
+		return bits.OnesCount64(s.lo) + bits.OnesCount64(s.hi)
+	}
 	total := 0
-	for _, w := range s.words {
+	for _, w := range s.ext {
 		total += bits.OnesCount64(w)
 	}
 	return total
@@ -98,15 +171,22 @@ func (s Set) Len() int {
 
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
-	c := Set{words: make([]uint64, len(s.words)), n: s.n}
-	copy(c.words, s.words)
+	if s.ext == nil {
+		return s // value copy: inline words are already independent
+	}
+	c := Set{ext: make([]uint64, len(s.ext)), n: s.n}
+	copy(c.ext, s.ext)
 	return c
 }
 
 // Clear removes all colors in place.
-func (s Set) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
+func (s *Set) Clear() {
+	if s.ext == nil {
+		s.lo, s.hi = 0, 0
+		return
+	}
+	for i := range s.ext {
+		s.ext[i] = 0
 	}
 }
 
@@ -117,26 +197,39 @@ func (s Set) sameCap(o Set) {
 }
 
 // UnionWith adds every color of o into s.
-func (s Set) UnionWith(o Set) {
+func (s *Set) UnionWith(o Set) {
 	s.sameCap(o)
-	for i, w := range o.words {
-		s.words[i] |= w
+	if s.ext == nil {
+		s.lo |= o.lo
+		s.hi |= o.hi
+		return
+	}
+	for i, w := range o.ext {
+		s.ext[i] |= w
 	}
 }
 
 // IntersectWith removes from s every color not in o.
-func (s Set) IntersectWith(o Set) {
+func (s *Set) IntersectWith(o Set) {
 	s.sameCap(o)
-	for i, w := range o.words {
-		s.words[i] &= w
+	if s.ext == nil {
+		s.lo &= o.lo
+		s.hi &= o.hi
+		return
+	}
+	for i, w := range o.ext {
+		s.ext[i] &= w
 	}
 }
 
 // Intersects reports whether s and o share at least one color.
 func (s Set) Intersects(o Set) bool {
 	s.sameCap(o)
-	for i, w := range o.words {
-		if s.words[i]&w != 0 {
+	if s.ext == nil {
+		return s.lo&o.lo|s.hi&o.hi != 0
+	}
+	for i, w := range o.ext {
+		if s.ext[i]&w != 0 {
 			return true
 		}
 	}
@@ -148,18 +241,41 @@ func (s Set) Equal(o Set) bool {
 	if s.n != o.n {
 		return false
 	}
-	for i, w := range o.words {
-		if s.words[i] != w {
+	if s.ext == nil {
+		return s.lo == o.lo && s.hi == o.hi
+	}
+	for i, w := range o.ext {
+		if s.ext[i] != w {
 			return false
 		}
 	}
 	return true
 }
 
+// word returns the i-th 64-color word.
+func (s Set) word(i int) uint64 {
+	if s.ext != nil {
+		return s.ext[i]
+	}
+	if i == 0 {
+		return s.lo
+	}
+	return s.hi
+}
+
+// numWords returns how many words the capacity spans.
+func (s Set) numWords() int {
+	if s.ext != nil {
+		return len(s.ext)
+	}
+	return wordsFor(s.n)
+}
+
 // Colors returns the present colors in ascending order.
 func (s Set) Colors() []int {
 	out := make([]int, 0, s.Len())
-	for i, w := range s.words {
+	for i, nw := 0, s.numWords(); i < nw; i++ {
+		w := s.word(i)
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			out = append(out, i*wordBits+b)
@@ -172,7 +288,8 @@ func (s Set) Colors() []int {
 // ForEach calls fn for each present color in ascending order, stopping
 // early if fn returns false.
 func (s Set) ForEach(fn func(c int) bool) {
-	for i, w := range s.words {
+	for i, nw := 0, s.numWords(); i < nw; i++ {
+		w := s.word(i)
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if !fn(i*wordBits + b) {

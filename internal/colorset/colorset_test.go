@@ -81,7 +81,8 @@ func TestAddOutOfRangePanics(t *testing.T) {
 			t.Fatal("Add out of range did not panic")
 		}
 	}()
-	New(10).Add(10)
+	s := New(10)
+	s.Add(10)
 }
 
 func TestCapacityMismatchPanics(t *testing.T) {
@@ -273,5 +274,96 @@ func BenchmarkUnionWith80(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.UnionWith(c)
+	}
+}
+
+// TestInlineSpillEquivalence is the representation property test: across
+// capacities spanning the inline/spill boundary (1..200), every operation
+// behaves identically to a reference model, so the inline [2]uint64
+// fast path and the spilled slice path are observationally the same set.
+func TestInlineSpillEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for capacity := 1; capacity <= 200; capacity++ {
+		s := New(capacity)
+		o := New(capacity)
+		model := map[int]bool{}
+		omodel := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			c := r.Intn(capacity)
+			switch r.Intn(6) {
+			case 0:
+				s.Add(c)
+				model[c] = true
+			case 1:
+				s.Remove(c)
+				delete(model, c)
+			case 2:
+				o.Add(c)
+				omodel[c] = true
+			case 3: // UnionWith
+				s.UnionWith(o)
+				for k := range omodel {
+					model[k] = true
+				}
+			case 4: // IntersectWith
+				s.IntersectWith(o)
+				for k := range model {
+					if !omodel[k] {
+						delete(model, k)
+					}
+				}
+			case 5: // probe, including out-of-capacity colors
+				probe := r.Intn(300) - 20
+				if got, want := s.Has(probe), model[probe]; got != want {
+					t.Fatalf("cap %d: Has(%d) = %v, want %v", capacity, probe, got, want)
+				}
+			}
+			if got, want := s.Has(c), model[c]; got != want {
+				t.Fatalf("cap %d: Has(%d) = %v, want %v", capacity, c, got, want)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("cap %d: Len = %d, want %d", capacity, s.Len(), len(model))
+		}
+		wantIntersects := false
+		for k := range model {
+			if omodel[k] {
+				wantIntersects = true
+				break
+			}
+		}
+		if got := s.Intersects(o); got != wantIntersects {
+			t.Fatalf("cap %d: Intersects = %v, want %v", capacity, got, wantIntersects)
+		}
+		if s.Empty() != (len(model) == 0) {
+			t.Fatalf("cap %d: Empty = %v with %d colors", capacity, s.Empty(), len(model))
+		}
+		prev := -1
+		for _, c := range s.Colors() {
+			if !model[c] || c <= prev {
+				t.Fatalf("cap %d: Colors() = %v inconsistent with model", capacity, s.Colors())
+			}
+			prev = c
+		}
+	}
+}
+
+// TestInlineZeroAlloc pins the inline representation's reason to exist:
+// creating and operating on sets within InlineColors allocates nothing.
+func TestInlineZeroAlloc(t *testing.T) {
+	for _, capacity := range []int{1, 64, 80, InlineColors} {
+		n := testing.AllocsPerRun(100, func() {
+			s := New(capacity)
+			s.Add(capacity - 1)
+			if !s.Has(capacity - 1) {
+				t.Fatal("lost a color")
+			}
+		})
+		if n != 0 {
+			t.Fatalf("cap %d: %v allocs per op, want 0", capacity, n)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { New(InlineColors + 1) }); n == 0 {
+		t.Fatal("spilled set unexpectedly allocation-free (test is not measuring)")
 	}
 }

@@ -41,6 +41,16 @@ type worker struct {
 	socketHi   int
 	socketMask colorset.Set
 
+	// grp and ready are owner-only scratch reused across the run so the
+	// spawn/notify hot paths allocate only what escapes into deque items.
+	grp   grouper
+	ready []*Node
+
+	// idleSince is the lazily started idle clock: zero until a steal
+	// probe fails, so a findWork call whose first probe succeeds never
+	// reads the clock.
+	idleSince time.Time
+
 	firstStealPending bool
 	startedWork       bool
 }
@@ -84,6 +94,7 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 			socketLo:          lo,
 			socketHi:          hi,
 			socketMask:        mask,
+			grp:               newGrouper(opts.Workers),
 			firstStealPending: p.Colored && p.ForceFirstColoredSteal,
 		}
 	}
@@ -170,12 +181,22 @@ func (w *worker) exec(it item) {
 }
 
 // push reifies a continuation as a stealable deque item tagged with the
-// colors available inside it (the paper's cilkrts_set_next_colors).
+// colors available inside it (the paper's cilkrts_set_next_colors). For
+// the single-group items the binary-splitting hot path produces, the mask
+// is the group's own color — O(1), no group rescan, and with the inline
+// colorset representation no allocation.
 func (w *worker) push(it item) {
-	w.dq.PushBottom(deque.Entry[item]{
-		Value:  it,
-		Colors: colorsOf(it.groups, len(w.e.workers)),
-	})
+	nw := len(w.e.workers)
+	var cs colorset.Set
+	if it.groups == nil {
+		cs = colorset.New(nw)
+		if c := it.single.color; c >= 0 && c < nw {
+			cs.Add(c)
+		}
+	} else {
+		cs = colorsOf(it.groups, nw)
+	}
+	w.dq.PushBottom(deque.Entry[item]{Value: it, Colors: cs})
 }
 
 // runItem interprets a morphing continuation: spawn_colors descends into
@@ -183,10 +204,14 @@ func (w *worker) push(it item) {
 // the other half stealable; spawn_nodes then binary-splits the single
 // remaining color group the same way, finally executing one leaf.
 func (w *worker) runItem(it item) {
-	groups := it.groups
-	if itemSize(groups) == 0 {
+	if it.size() == 0 {
 		return
 	}
+	if it.groups == nil {
+		w.runGroup(it.owner, it.single)
+		return
+	}
+	groups := it.groups
 	colored := w.e.opts.Policy.Colored
 	for len(groups) > 1 {
 		mid := len(groups) / 2
@@ -194,27 +219,36 @@ func (w *worker) runItem(it item) {
 		if colored && containsColor(second, w.color) && !containsColor(first, w.color) {
 			first, second = second, first
 		}
-		w.push(item{owner: it.owner, groups: second})
+		if len(second) == 1 {
+			w.push(item{owner: it.owner, single: second[0]})
+		} else {
+			w.push(item{owner: it.owner, groups: second})
+		}
 		groups = first
 	}
-	g := groups[0]
-	if it.owner != nil {
+	w.runGroup(it.owner, groups[0])
+}
+
+// runGroup binary-splits a single color group, pushing inline single-group
+// continuations (no allocation), and resolves the final leaf.
+func (w *worker) runGroup(owner *Node, g group) {
+	if owner != nil {
 		keys := g.keys
 		for len(keys) > 1 {
 			mid := len(keys) / 2
-			w.push(item{owner: it.owner, groups: []group{{color: g.color, keys: keys[mid:]}}})
+			w.push(item{owner: owner, single: group{color: g.color, keys: keys[mid:]}})
 			keys = keys[:mid]
 		}
-		w.tryInitCompute(it.owner, keys[0])
-	} else {
-		nodes := g.nodes
-		for len(nodes) > 1 {
-			mid := len(nodes) / 2
-			w.push(item{groups: []group{{color: g.color, nodes: nodes[mid:]}}})
-			nodes = nodes[:mid]
-		}
-		w.computeAndNotify(nodes[0])
+		w.tryInitCompute(owner, keys[0])
+		return
 	}
+	nodes := g.nodes
+	for len(nodes) > 1 {
+		mid := len(nodes) / 2
+		w.push(item{single: group{color: g.color, nodes: nodes[mid:]}})
+		nodes = nodes[:mid]
+	}
+	w.computeAndNotify(nodes[0])
 }
 
 // tryInitCompute resolves one predecessor key of owner: create the
@@ -247,8 +281,7 @@ func (w *worker) initAndCompute(n *Node) {
 		w.computeAndNotify(n)
 		return
 	}
-	groups := groupKeysByColor(w.e.spec, n.preds, w.e.opts.Policy.Colored)
-	w.runItem(item{owner: n, groups: groups})
+	w.runItem(w.groupKeys(n, n.preds))
 }
 
 // computeAndNotify executes a ready node, then notifies its successors,
@@ -273,20 +306,31 @@ func (w *worker) computeAndNotify(n *Node) {
 	}
 
 	succs := n.markComputed()
-	var ready []*Node
+	// ready reuses the worker's scratch; groupNodes copies out of it, and
+	// the single-ready fast path extracts the node before the recursion
+	// below reuses the scratch.
+	ready := w.ready[:0]
 	for _, s := range succs {
 		if s.decJoin() {
 			ready = append(ready, s)
 		}
 	}
+	w.ready = ready
 	if n.key == w.e.sinkKey {
 		w.e.done.Store(true)
 	}
-	if len(ready) == 0 {
+	switch len(ready) {
+	case 0:
+		return
+	case 1:
+		// A lone ready successor would round-trip through a one-node
+		// item whose interpretation is exactly this call; skip the
+		// wrapping (and its copy) entirely.
+		n0 := ready[0]
+		w.computeAndNotify(n0)
 		return
 	}
-	groups := groupNodesByColor(ready, w.e.opts.Policy.Colored)
-	w.runItem(item{groups: groups})
+	w.runItem(w.groupNodes(ready))
 }
 
 // victim picks a random worker other than w.
@@ -314,7 +358,10 @@ func (w *worker) crossSocket(v *worker) bool {
 }
 
 // attempt and hit account one steal probe / one successful steal of the
-// given tier on every counter that tracks it.
+// given tier on every counter that tracks it. Both are unconditional
+// array increments on worker-private memory — the fine-grained tier
+// anatomy rides the existing stats plumbing with no extra branches in
+// the probe loop.
 func (w *worker) attempt(t StealTier, colored bool) {
 	w.stats.StealAttempts++
 	w.stats.TierAttempts[t]++
@@ -343,16 +390,36 @@ func (w *worker) takeBatch(ents []deque.Entry[item]) item {
 	return ents[0].Value
 }
 
+// noteProbeFailed starts the idle clock if it is not already running.
+// Called after a failed steal probe, so a findWork call whose very first
+// probe hits never touches the clock.
+func (w *worker) noteProbeFailed() {
+	if w.idleSince.IsZero() {
+		w.idleSince = time.Now()
+	}
+}
+
 // findWork implements the stealing policy: while enforcing the first
 // colored steal, only colored attempts count (bounded by
 // FirstStealMaxRounds sweeps); afterwards, the flat protocol makes
 // ColoredStealAttempts colored probes before each random steal, and the
 // hierarchical protocol walks the socket-tier victim order (see
-// Policy.Hierarchical). Idle time accrues here.
+// Policy.Hierarchical).
+//
+// Idle time accrues from the first failed probe to the return — the
+// all-hits fast path performs zero clock reads (cheap idle accounting;
+// previously every call paid two time.Now calls plus a defer).
 func (w *worker) findWork() (item, bool) {
-	t0 := time.Now()
-	defer func() { w.stats.IdleTime += time.Since(t0) }()
+	it, ok := w.hunt()
+	if !w.idleSince.IsZero() {
+		w.stats.IdleTime += time.Since(w.idleSince)
+		w.idleSince = time.Time{}
+	}
+	return it, ok
+}
 
+// hunt is findWork without the idle-clock bookkeeping.
+func (w *worker) hunt() (item, bool) {
 	e := w.e
 	p := e.opts.Policy
 	nw := len(e.workers)
@@ -377,6 +444,7 @@ func (w *worker) findWork() (item, bool) {
 			case deque.StealMiss:
 				w.stats.ColoredMisses++
 			}
+			w.noteProbeFailed()
 			if w.stats.FirstStealChecks >= maxChecks {
 				w.firstStealPending = false
 				break
@@ -389,7 +457,7 @@ func (w *worker) findWork() (item, bool) {
 	}
 
 	if p.Hierarchical {
-		return w.findWorkHier()
+		return w.huntHier()
 	}
 
 	for !e.done.Load() {
@@ -405,6 +473,7 @@ func (w *worker) findWork() (item, bool) {
 				if out == deque.StealMiss {
 					w.stats.ColoredMisses++
 				}
+				w.noteProbeFailed()
 			}
 		}
 		v := w.victim()
@@ -414,15 +483,16 @@ func (w *worker) findWork() (item, bool) {
 			w.hit(TierGlobalRandom, false)
 			return ent.Value, true
 		}
+		w.noteProbeFailed()
 		runtime.Gosched()
 	}
 	return item{}, false
 }
 
-// findWorkHier walks the two-level victim order: same-color and
+// huntHier walks the two-level victim order: same-color and
 // socket-colored probes among socket peers, then socket-random, then the
 // global colored and random tiers with batched cross-socket steals.
-func (w *worker) findWorkHier() (item, bool) {
+func (w *worker) huntHier() (item, bool) {
 	e := w.e
 	p := e.opts.Policy
 	// Socket tiers only make sense when the socket has peers AND is a
@@ -447,6 +517,7 @@ func (w *worker) findWorkHier() (item, bool) {
 				if out == deque.StealMiss {
 					w.stats.ColoredMisses++
 				}
+				w.noteProbeFailed()
 			}
 			// Tier 2: any color homed in this socket, among socket peers.
 			for i := 0; i < p.SocketColoredAttempts; i++ {
@@ -460,6 +531,7 @@ func (w *worker) findWorkHier() (item, bool) {
 				if out == deque.StealMiss {
 					w.stats.ColoredMisses++
 				}
+				w.noteProbeFailed()
 			}
 		}
 		if sockN > 1 {
@@ -472,6 +544,7 @@ func (w *worker) findWorkHier() (item, bool) {
 					w.hit(TierSocketRandom, false)
 					return ent.Value, true
 				}
+				w.noteProbeFailed()
 			}
 		}
 		if p.Colored {
@@ -489,6 +562,7 @@ func (w *worker) findWorkHier() (item, bool) {
 					if out == deque.StealMiss {
 						w.stats.ColoredMisses++
 					}
+					w.noteProbeFailed()
 					continue
 				}
 				ent, out := v.dq.StealTopColored(w.color)
@@ -499,6 +573,7 @@ func (w *worker) findWorkHier() (item, bool) {
 				if out == deque.StealMiss {
 					w.stats.ColoredMisses++
 				}
+				w.noteProbeFailed()
 			}
 		}
 		// Tier 5: anything anywhere; cross-socket steals batch.
@@ -517,6 +592,7 @@ func (w *worker) findWorkHier() (item, bool) {
 				return ent.Value, true
 			}
 		}
+		w.noteProbeFailed()
 		runtime.Gosched()
 	}
 	return item{}, false

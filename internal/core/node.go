@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Node is the runtime state of one task. Nodes are created on demand the
@@ -92,10 +93,12 @@ func (n *Node) decJoin() bool {
 const nodeShardCount = 128
 
 type nodeShard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[Key]*Node
-	// pad keeps adjacent shards off one cache line.
-	_ [40]byte
+	// pad rounds the shard up to a whole 64-byte cache line so adjacent
+	// shards never share one (RWMutex 24B + map header 8B = 32B; see the
+	// size assertion in core_test.go).
+	_ [64 - (unsafe.Sizeof(sync.RWMutex{})+unsafe.Sizeof(map[Key]*Node(nil)))%64]byte
 }
 
 // nodeMap is the on-demand node table: a sharded hash map providing the
@@ -125,6 +128,16 @@ func shardOf(k Key) uint64 {
 // predecessors (the node is returned fully initialized either way).
 func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 	sh := &nm.shards[shardOf(k)]
+	// Fast path: most getOrCreate calls are lookups of existing nodes
+	// (every edge after the first names an already-created predecessor),
+	// and an RLock neither contends with other readers nor pays the
+	// RWMutex writer-lock's extra bookkeeping.
+	sh.mu.RLock()
+	if n, ok := sh.m[k]; ok {
+		sh.mu.RUnlock()
+		return n, false
+	}
+	sh.mu.RUnlock()
 	sh.mu.Lock()
 	if n, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
@@ -152,12 +165,13 @@ func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 	return n, true
 }
 
-// get returns the node for k if it exists.
+// get returns the node for k if it exists. Read-only: concurrent readers
+// (post-run stats, checkers) share the lock instead of serializing.
 func (nm *nodeMap) get(k Key) (*Node, bool) {
 	sh := &nm.shards[shardOf(k)]
-	sh.mu.Lock()
+	sh.mu.RLock()
 	n, ok := sh.m[k]
-	sh.mu.Unlock()
+	sh.mu.RUnlock()
 	return n, ok
 }
 
@@ -166,9 +180,9 @@ func (nm *nodeMap) count() int {
 	total := 0
 	for i := range nm.shards {
 		sh := &nm.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		total += len(sh.m)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -177,10 +191,10 @@ func (nm *nodeMap) count() int {
 func (nm *nodeMap) forEach(fn func(*Node)) {
 	for i := range nm.shards {
 		sh := &nm.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		for _, n := range sh.m {
 			fn(n)
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 }

@@ -1,40 +1,141 @@
 package deque
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"nabbitc/internal/colorset"
 )
 
 // ChaseLev is the dynamic circular work-stealing deque of Chase and Lev
-// (SPAA'05), adapted to Go's memory model: buffer slots hold atomic
-// pointers so that a thief's racy read of a slot the owner concurrently
-// recycles is well-defined. Steals synchronize through a CAS on the top
-// index; the owner synchronizes with thieves only when taking the last
-// element.
+// (SPAA'05), adapted to Go's memory model with unboxed value slots:
+// entries are stored by value, so pushes allocate nothing in steady state
+// (the original design's "pushes never allocate" property, which a boxed
+// *Entry slot scheme loses to one heap allocation per push).
 //
-// The colored-steal variant reads the candidate entry, tests its color
-// mask, and only then attempts the CAS; a failed CAS reports StealAbort so
-// the caller can count it as a contended (not color-missed) attempt.
+// # Slot protocol
+//
+// The index protocol (top/bottom, the owner's last-element CAS, the
+// thief's claim CAS) is the classic Chase–Lev algorithm, unchanged. What
+// the unboxed representation adds is a discipline for when slot memory may
+// be read and rewritten (see doc.go for the full design note):
+//
+//   - Publication: the owner writes the value, then bumps bottom
+//     (release). A thief that observed bottom > t (acquire, read after
+//     top) therefore sees the completed value for the incarnation it will
+//     claim; the old boxed scheme needed a nil-check on the slot pointer
+//     for "owner mid-push", which the bottom bump now subsumes.
+//   - Claim: a thief may read the value only after winning the CAS on top
+//     (top is monotonic, so a successful claim of index t proves the slot
+//     still serves t and no other consumer touched it).
+//   - Recycling: the owner overwrites a slot only when pushing index b
+//     with b - top < size, which proves the slot's previous tenant
+//     (index b-size) was already claimed. The claimant may still be
+//     copying the value out, so each slot carries an atomic reader count:
+//     a thief holds it across recheck-claim-copy, and the owner's push
+//     spins until it drops to zero. The hold is a handful of
+//     instructions, so the spin is short and bounded.
+//
+// Every value access is therefore ordered by a bottom, top, or
+// reader-count edge — the protocol is race-free under the Go memory
+// model, not merely "benign".
+//
+// # Colored steals without claiming
+//
+// A colored thief must inspect the top entry's color mask *before*
+// committing, but the value itself is only safely readable after the
+// claim. Each slot therefore carries an atomically readable shadow of the
+// entry's color mask: two uint64 words (capacity <= colorset.InlineColors,
+// i.e. 128 colors — every run at the paper's 80-worker scale) or, beyond
+// that, a pointer to an immutable boxed copy. The shadow may be stale —
+// the slot can be recycled between the emptiness check and the mask read —
+// but staleness is harmless: a false "hit" is filtered by the claim CAS
+// (recycling requires top to have moved, which makes the CAS fail), and a
+// false "miss" re-validates top exactly as the boxed implementation did,
+// reporting StealAbort when the verdict might be stale. Misses stay
+// read-only: they never touch the reader count.
 type ChaseLev[T any] struct {
 	top    atomic.Int64
 	bottom atomic.Int64
 	buf    atomic.Pointer[clBuffer[T]]
 }
 
+// clSlot is one buffer cell. readers counts thieves between claim recheck
+// and copy-out. colorsLo/colorsHi shadow the entry's inline color words;
+// colorsBig is non-nil only for color sets too large to store inline
+// (capacity > colorset.InlineColors), where it points at an immutable copy
+// boxed at push time.
+type clSlot[T any] struct {
+	readers   atomic.Int32
+	colorsLo  atomic.Uint64
+	colorsHi  atomic.Uint64
+	colorsBig atomic.Pointer[colorset.Set]
+	val       Entry[T]
+}
+
 type clBuffer[T any] struct {
 	mask  int64
-	slots []atomic.Pointer[Entry[T]]
+	slots []clSlot[T]
 }
 
 func newCLBuffer[T any](logSize uint) *clBuffer[T] {
 	n := int64(1) << logSize
-	return &clBuffer[T]{mask: n - 1, slots: make([]atomic.Pointer[Entry[T]], n)}
+	return &clBuffer[T]{mask: n - 1, slots: make([]clSlot[T], n)}
 }
 
-func (b *clBuffer[T]) get(i int64) *Entry[T]    { return b.slots[i&b.mask].Load() }
-func (b *clBuffer[T]) put(i int64, e *Entry[T]) { b.slots[i&b.mask].Store(e) }
-func (b *clBuffer[T]) size() int64              { return b.mask + 1 }
+func (b *clBuffer[T]) slot(i int64) *clSlot[T] { return &b.slots[i&b.mask] }
+func (b *clBuffer[T]) size() int64             { return b.mask + 1 }
+
+// setColors installs the slot's atomically readable color shadow.
+// Sequentially consistent stores are the expensive instruction on the push
+// fast path (XCHG on amd64), so the high word and the spill pointer are
+// rewritten only when they would change — on <=64-color runs each push
+// pays exactly one shadow store.
+func (s *clSlot[T]) setColors(c colorset.Set) {
+	if lo, hi, ok := c.InlineWords(); ok {
+		s.colorsLo.Store(lo)
+		if hi != 0 || s.colorsHi.Load() != 0 {
+			s.colorsHi.Store(hi)
+		}
+		if s.colorsBig.Load() != nil {
+			s.colorsBig.Store(nil)
+		}
+	} else {
+		big := c // boxed copy escapes; only for >InlineColors capacities
+		s.colorsBig.Store(&big)
+	}
+}
+
+// shadowHas reports whether the slot's color shadow contains color. The
+// verdict may be stale; see the protocol comment.
+func (s *clSlot[T]) shadowHas(color int) bool {
+	if big := s.colorsBig.Load(); big != nil {
+		return big.Has(color)
+	}
+	if color < 0 || color >= colorset.InlineColors {
+		return false
+	}
+	if color < 64 {
+		return s.colorsLo.Load()&(1<<uint(color)) != 0
+	}
+	return s.colorsHi.Load()&(1<<uint(color-64)) != 0
+}
+
+// shadowIntersects reports whether the slot's color shadow intersects
+// mask. The verdict may be stale; see the protocol comment.
+func (s *clSlot[T]) shadowIntersects(mask colorset.Set) bool {
+	if big := s.colorsBig.Load(); big != nil {
+		return big.Intersects(mask)
+	}
+	lo, hi, ok := mask.InlineWords()
+	if !ok {
+		// Inline entry vs spilled mask: capacities differ by construction
+		// (both sides are sized to the worker count), so they share no
+		// colors the inline words could express.
+		return false
+	}
+	return s.colorsLo.Load()&lo|s.colorsHi.Load()&hi != 0
+}
 
 // NewChaseLev returns an empty lock-free deque.
 func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {
@@ -47,22 +148,44 @@ func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {
 	return d
 }
 
-// PushBottom adds an item at the bottom (owner only).
+// PushBottom adds an item at the bottom (owner only). Steady-state pushes
+// (no grow) allocate nothing for color sets up to colorset.InlineColors.
 func (d *ChaseLev[T]) PushBottom(e Entry[T]) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	buf := d.buf.Load()
 	if b-t >= buf.size() {
-		// Grow: copy live window into a buffer twice the size.
-		nb := newCLBuffer[T](uint(log2(buf.size()) + 1))
-		for i := t; i < b; i++ {
-			nb.put(i, buf.get(i))
-		}
-		d.buf.Store(nb)
-		buf = nb
+		buf = d.grow(buf, t, b)
 	}
-	buf.put(b, &e)
+	s := buf.slot(b)
+	// b - top < size proves the slot's previous tenant was claimed; wait
+	// for any claimant still copying it out before overwriting.
+	for s.readers.Load() != 0 {
+		runtime.Gosched()
+	}
+	s.val = e
+	s.setColors(e.Colors)
 	d.bottom.Store(b + 1)
+}
+
+// grow copies the live window [t, b) into a buffer twice the size and
+// publishes it. Grows are amortized and absent in steady state. Thieves
+// still holding the old buffer are unaffected: values are never moved out
+// of a buffer (only copied), reader counts are per-buffer memory the
+// owner's future pushes to the new buffer never contend with, and any
+// claim is still serialized through the shared top counter.
+func (d *ChaseLev[T]) grow(buf *clBuffer[T], t, b int64) *clBuffer[T] {
+	nb := newCLBuffer[T](log2(buf.size()) + 1)
+	for i := t; i < b; i++ {
+		os := buf.slot(i)
+		ns := nb.slot(i)
+		ns.val = os.val
+		ns.colorsLo.Store(os.colorsLo.Load())
+		ns.colorsHi.Store(os.colorsHi.Load())
+		ns.colorsBig.Store(os.colorsBig.Load())
+	}
+	d.buf.Store(nb)
+	return nb
 }
 
 func log2(n int64) uint {
@@ -86,9 +209,14 @@ func (d *ChaseLev[T]) PopBottom() (Entry[T], bool) {
 		d.bottom.Store(t)
 		return zero, false
 	}
-	e := buf.get(b)
+	s := buf.slot(b)
 	if b > t {
-		return *e, true
+		// Not the last element: top cannot reach b without this owner
+		// observing it above, so no thief can claim the slot — it is
+		// exclusively ours to read and clear.
+		e := s.val
+		s.val = zero
+		return e, true
 	}
 	// Last element: race with thieves via CAS on top.
 	ok := d.top.CompareAndSwap(t, t+1)
@@ -96,28 +224,43 @@ func (d *ChaseLev[T]) PopBottom() (Entry[T], bool) {
 	if !ok {
 		return zero, false
 	}
-	return *e, true
+	e := s.val
+	s.val = zero
+	return e, true
+}
+
+// claim performs the claim-and-copy half of a steal of index t from s:
+// take a reader hold, re-validate that the slot still serves index t,
+// win the CAS on top, and only then copy the value out. Returns StealAbort
+// on any lost race.
+func (d *ChaseLev[T]) claim(s *clSlot[T], t int64) (Entry[T], StealOutcome) {
+	var zero Entry[T]
+	s.readers.Add(1)
+	// Recheck under the hold: if top moved, the slot may be recycled (or
+	// mid-rewrite) and the hold is on a stale tenant.
+	if d.top.Load() != t {
+		s.readers.Add(-1)
+		return zero, StealAbort
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		s.readers.Add(-1)
+		return zero, StealAbort
+	}
+	e := s.val
+	s.readers.Add(-1)
+	return e, StealOK
 }
 
 // StealTop removes the oldest item (any worker).
 func (d *ChaseLev[T]) StealTop() (Entry[T], StealOutcome) {
-	var zero Entry[T]
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if b <= t {
+		var zero Entry[T]
 		return zero, StealEmpty
 	}
 	buf := d.buf.Load()
-	e := buf.get(t)
-	if e == nil {
-		// The owner is mid-push or the buffer was swapped under us;
-		// treat as a lost race.
-		return zero, StealAbort
-	}
-	if !d.top.CompareAndSwap(t, t+1) {
-		return zero, StealAbort
-	}
-	return *e, StealOK
+	return d.claim(buf.slot(t), t)
 }
 
 // StealTopColored removes the oldest item only if its color mask contains
@@ -130,23 +273,17 @@ func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 		return zero, StealEmpty
 	}
 	buf := d.buf.Load()
-	e := buf.get(t)
-	if e == nil {
-		return zero, StealAbort
-	}
-	if !e.Colors.Has(color) {
-		// Re-validate that the entry we inspected is still the top;
-		// if not, the miss verdict is stale and the caller should
+	s := buf.slot(t)
+	if !s.shadowHas(color) {
+		// Re-validate that the slot we inspected still serves the top
+		// index; if not, the miss verdict is stale and the caller should
 		// retry.
 		if d.top.Load() != t {
 			return zero, StealAbort
 		}
 		return zero, StealMiss
 	}
-	if !d.top.CompareAndSwap(t, t+1) {
-		return zero, StealAbort
-	}
-	return *e, StealOK
+	return d.claim(s, t)
 }
 
 // StealTopMasked removes the oldest item only if its color mask intersects
@@ -159,21 +296,15 @@ func (d *ChaseLev[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome)
 		return zero, StealEmpty
 	}
 	buf := d.buf.Load()
-	e := buf.get(t)
-	if e == nil {
-		return zero, StealAbort
-	}
-	if !e.Colors.Intersects(mask) {
+	s := buf.slot(t)
+	if !s.shadowIntersects(mask) {
 		// Same stale-verdict re-validation as StealTopColored.
 		if d.top.Load() != t {
 			return zero, StealAbort
 		}
 		return zero, StealMiss
 	}
-	if !d.top.CompareAndSwap(t, t+1) {
-		return zero, StealAbort
-	}
-	return *e, StealOK
+	return d.claim(s, t)
 }
 
 // StealHalf removes up to min(ceil(n/2), max) of the oldest items during a

@@ -1,23 +1,3 @@
-// Package deque implements work-stealing deques with per-item color tags.
-//
-// Workers push and pop work at the bottom (LIFO, preserving the depth-first
-// execution order that work-first scheduling depends on) while thieves
-// steal from the top (FIFO, taking the oldest — and in a depth-first
-// execution, usually the largest — piece of available work).
-//
-// The NabbitC extension to the Cilk Plus runtime pairs the work deque with
-// a "color deque": every stealable continuation carries a constant-size
-// membership array of the colors occurring inside it, so a thief can test
-// in O(1) whether a frame contains work of its preferred color before
-// committing to a steal. Here each deque item carries a colorset.Set,
-// which is the same structure without the parallel-array bookkeeping.
-//
-// Two implementations share the Queue interface: Mutex (a ring buffer
-// under a lock; the engine default — per-deque contention is a single
-// owner plus occasional thieves, so an uncontended lock costs a couple of
-// atomic operations, same as the lock-free path) and ChaseLev (the classic
-// dynamic circular work-stealing deque of Chase and Lev, provided for the
-// ablation comparing deque substrates).
 package deque
 
 import "nabbitc/internal/colorset"

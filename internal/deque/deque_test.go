@@ -661,6 +661,7 @@ func BenchmarkPushPopChaseLev(b *testing.B) {
 
 func benchPushPop(b *testing.B, q Queue[int]) {
 	e := entry(1, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.PushBottom(e)
@@ -678,6 +679,7 @@ func BenchmarkStealContention(b *testing.B) {
 	} {
 		b.Run(impl.name, func(b *testing.B) {
 			q := impl.q
+			b.ReportAllocs()
 			for i := 0; i < 1024; i++ {
 				q.PushBottom(entry(i, i%testColors))
 			}
@@ -690,5 +692,100 @@ func BenchmarkStealContention(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// TestUnboxedSlotIntegrity is the race-stress test for the unboxed
+// Chase–Lev slot protocol: one owner pushing and popping over a deliberately
+// tiny initial buffer (forcing grows and heavy slot recycling), many
+// thieves doing colored steals. Each entry's color mask encodes its value,
+// so a torn or recycled-slot read — the failure mode the reader-count
+// protocol exists to prevent — surfaces as a value/mask mismatch, not
+// just a lost item. Run under -race this also proves the protocol is
+// data-race-free, not merely "benign".
+func TestUnboxedSlotIntegrity(t *testing.T) {
+	total := 30000
+	if testing.Short() {
+		total = 8000
+	}
+	const thieves = 4
+	q := NewChaseLev[int](1) // minimum buffer: maximum recycling pressure
+	consumed := make([]atomic.Int32, total)
+	var bad atomic.Int64
+	var taken atomic.Int64
+	done := make(chan struct{})
+
+	check := func(e Entry[int]) {
+		if !e.Colors.Has(e.Value % testColors) {
+			bad.Add(1)
+		}
+		consumed[e.Value].Add(1)
+		taken.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.NewWorker(7, id)
+			for {
+				color := r.Intn(testColors)
+				if e, out := q.StealTopColored(color); out == StealOK {
+					if !e.Colors.Has(color) {
+						bad.Add(1)
+					}
+					check(e)
+				}
+				select {
+				case <-done:
+					for {
+						e, out := q.StealTop()
+						if out == StealEmpty {
+							return
+						}
+						if out == StealOK {
+							check(e)
+						}
+					}
+				default:
+				}
+			}
+		}(th)
+	}
+
+	r := xrand.New(3)
+	for i := 0; i < total; i++ {
+		q.PushBottom(entry(i, i%testColors))
+		// Pop in bursts so bottom oscillates across slot boundaries and
+		// the same index is republished many times.
+		for r.Intn(4) == 0 {
+			e, ok := q.PopBottom()
+			if !ok {
+				break
+			}
+			check(e)
+		}
+	}
+	for {
+		e, ok := q.PopBottom()
+		if !ok {
+			break
+		}
+		check(e)
+	}
+	close(done)
+	wg.Wait()
+
+	if bad.Load() != 0 {
+		t.Fatalf("%d entries had a value/mask mismatch (torn slot read)", bad.Load())
+	}
+	if got := taken.Load(); got != int64(total) {
+		t.Fatalf("consumed %d items, want %d", got, total)
+	}
+	for i := 0; i < total; i++ {
+		if c := consumed[i].Load(); c != 1 {
+			t.Fatalf("value %d consumed %d times", i, c)
+		}
 	}
 }

@@ -1,0 +1,62 @@
+// Package deque implements work-stealing deques with per-item color tags.
+//
+// Workers push and pop work at the bottom (LIFO, preserving the depth-first
+// execution order that work-first scheduling depends on) while thieves
+// steal from the top (FIFO, taking the oldest — and in a depth-first
+// execution, usually the largest — piece of available work).
+//
+// The NabbitC extension to the Cilk Plus runtime pairs the work deque with
+// a "color deque": every stealable continuation carries a constant-size
+// membership array of the colors occurring inside it, so a thief can test
+// in O(1) whether a frame contains work of its preferred color before
+// committing to a steal. Here each deque item carries a colorset.Set,
+// which is the same structure without the parallel-array bookkeeping.
+//
+// Two implementations share the Queue interface: Mutex (a ring buffer
+// under a lock; the engine default — per-deque contention is a single
+// owner plus occasional thieves, so an uncontended lock costs a couple of
+// atomic operations, same as the lock-free path) and ChaseLev (the classic
+// dynamic circular work-stealing deque of Chase and Lev, provided for the
+// ablation comparing deque substrates).
+//
+// # Design note: unboxed Chase–Lev slots
+//
+// The scheduler's hottest operation is the owner's push, so the Chase–Lev
+// buffer stores Entry values unboxed: steady-state pushes perform zero
+// heap allocations, matching the original SPAA'05 design (a boxed *Entry
+// slot scheme — the obvious way to make racy slot reads well-defined under
+// the Go memory model — costs one allocation per push). Unboxed slots need
+// an explicit discipline for when slot memory may be read and rewritten;
+// the full rules live on the ChaseLev type, but the shape is:
+//
+//  1. Publication order. The owner writes the slot value, then bumps
+//     bottom with a release store. A thief reads top before bottom, so
+//     observing bottom > t guarantees the value for index t is complete.
+//
+//  2. Claim before read. A thief reads a slot value only after winning the
+//     CAS on top. Top is monotonic, so a successful claim of index t
+//     proves the slot still serves t: recycling a slot requires top to
+//     have passed it, which would have made the CAS fail.
+//
+//  3. Guarded recycling. The owner overwrites a slot only when pushing
+//     index b with b - top < size, which proves the previous tenant
+//     (index b-size) was claimed. Because the claimant may still be
+//     copying the value out, each slot carries an atomic reader count
+//     held across the thief's recheck-claim-copy window; the owner's push
+//     spins (a handful of instructions, bounded) until it drains.
+//
+//  4. Color shadows. A colored thief must inspect the top entry's color
+//     mask before claiming, which rule 2 forbids for the value itself.
+//     Each slot therefore keeps an atomically readable shadow of the
+//     mask: two uint64 words covering colorset.InlineColors colors, with
+//     a boxed-copy fallback for larger capacities. Shadow reads may be
+//     stale; a stale "hit" dies on the claim CAS and a stale "miss"
+//     re-validates top and reports StealAbort, never a false verdict.
+//
+// Every slot access is ordered by a bottom, top, or reader-count edge, so
+// the protocol is race-free under the Go memory model (and under the race
+// detector), not merely "benign". Batched steals (StealHalf and
+// StealHalfColored) remain sequences of single-element claims; see the
+// method comments for why a multi-item CAS batch would be unsound against
+// an owner popping inside the candidate range.
+package deque

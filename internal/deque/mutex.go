@@ -25,10 +25,11 @@ func NewMutex[T any](capacity int) *Mutex[T] {
 }
 
 func (d *Mutex[T]) grow() {
+	// The full ring wraps at most once: move it as two bulk copies rather
+	// than a per-element modulo loop.
 	nb := make([]Entry[T], len(d.buf)*2)
-	for i := 0; i < d.n; i++ {
-		nb[i] = d.buf[(d.head+i)%len(d.buf)]
-	}
+	n := copy(nb, d.buf[d.head:])
+	copy(nb[n:], d.buf[:d.head])
 	d.buf = nb
 	d.head = 0
 }

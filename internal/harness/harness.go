@@ -108,6 +108,7 @@ var experiments = []struct {
 	{"table3", table3Report},
 	{"ablate", ablateReport},
 	{"hier", hierReport},
+	{"alloc", allocReport},
 }
 
 // Experiments lists the runnable experiment names.

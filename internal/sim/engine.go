@@ -36,9 +36,26 @@ func (g group) size() int {
 	return len(g.nodes)
 }
 
+// item mirrors the real engine's morphing continuation, including its
+// inline single-group form (authoritative when groups == nil): binary
+// splitting pushes single-group items whose color mask is the group's own
+// color, so the mask construction stays in lockstep with internal/core.
 type item struct {
 	owner  *node
+	single group // inline one-group form, authoritative when groups == nil
 	groups []group
+}
+
+// size returns the number of leaf work units in the item.
+func (it item) size() int {
+	if it.groups == nil {
+		return it.single.size()
+	}
+	total := 0
+	for _, g := range it.groups {
+		total += g.size()
+	}
+	return total
 }
 
 type entry struct {
@@ -208,6 +225,10 @@ type engine struct {
 	done     bool
 	makespan int64
 	created  int
+	// ready is reusable scratch for complete()'s ready list (the
+	// simulator is single-threaded, so one engine-wide buffer suffices);
+	// groupNodes always copies out of it.
+	ready []*node
 }
 
 // Run executes the task graph on the simulated machine and returns virtual
@@ -251,7 +272,7 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 	if len(sinkNode.preds) == 0 {
 		e.startExec(w0, t, sinkNode)
 	} else {
-		e.push(w0, item{owner: sinkNode, groups: e.groupKeys(sinkNode.preds)})
+		e.push(w0, e.groupKeys(sinkNode, sinkNode.preds))
 		e.acquire(w0, t)
 	}
 	// All other workers begin hunting for work.
@@ -314,9 +335,13 @@ func (e *engine) getOrCreate(k core.Key) (*node, bool) {
 	return n, true
 }
 
-func (e *engine) groupKeys(keys []core.Key) []group {
+// groupKeys partitions pred keys by spec color (first-appearance order,
+// deterministic) into the owner's item. Single-group outcomes use the
+// inline form; the group colors match the historical map-based grouping
+// exactly (in particular, the uncolored/one-key form keeps color 0).
+func (e *engine) groupKeys(owner *node, keys []core.Key) item {
 	if !e.opts.Policy.Colored || len(keys) <= 1 {
-		return []group{{keys: keys}}
+		return item{owner: owner, single: group{keys: keys}}
 	}
 	index := make(map[int]int, 8)
 	var groups []group
@@ -330,12 +355,20 @@ func (e *engine) groupKeys(keys []core.Key) []group {
 		}
 		groups[gi].keys = append(groups[gi].keys, k)
 	}
-	return groups
+	if len(groups) == 1 {
+		return item{owner: owner, single: groups[0]}
+	}
+	return item{owner: owner, groups: groups}
 }
 
-func (e *engine) groupNodes(nodes []*node) []group {
+// groupNodes partitions ready nodes by color into a successor-work item.
+// The input may be the engine's reusable ready scratch, so the output
+// never aliases it.
+func (e *engine) groupNodes(nodes []*node) item {
 	if !e.opts.Policy.Colored || len(nodes) <= 1 {
-		return []group{{nodes: nodes}}
+		cp := make([]*node, len(nodes))
+		copy(cp, nodes)
+		return item{single: group{nodes: cp}}
 	}
 	index := make(map[int]int, 8)
 	var groups []group
@@ -348,14 +381,26 @@ func (e *engine) groupNodes(nodes []*node) []group {
 		}
 		groups[gi].nodes = append(groups[gi].nodes, n)
 	}
-	return groups
+	if len(groups) == 1 {
+		return item{single: groups[0]}
+	}
+	return item{groups: groups}
 }
 
+// push mirrors the real engine's mask construction: single-group items
+// advertise the group's own color in O(1); multi-group items union their
+// groups' colors. Colors outside the worker range are skipped.
 func (e *engine) push(w *worker, it item) {
 	s := colorset.New(len(e.workers))
-	for _, g := range it.groups {
-		if g.color >= 0 && g.color < len(e.workers) {
-			s.Add(g.color)
+	if it.groups == nil {
+		if c := it.single.color; c >= 0 && c < len(e.workers) {
+			s.Add(c)
+		}
+	} else {
+		for _, g := range it.groups {
+			if g.color >= 0 && g.color < len(e.workers) {
+				s.Add(g.color)
+			}
 		}
 	}
 	w.dq.pushBottom(entry{it: it, colors: s})
@@ -376,14 +421,13 @@ func containsColor(groups []group, color int) bool {
 // should now execute (nil if the leaf only did bookkeeping) and the
 // advanced clock.
 func (e *engine) interpret(w *worker, t int64, it item) (*node, int64) {
-	groups := it.groups
-	total := 0
-	for _, g := range groups {
-		total += g.size()
-	}
-	if total == 0 {
+	if it.size() == 0 {
 		return nil, t
 	}
+	if it.groups == nil {
+		return e.interpretGroup(w, t, it.owner, it.single)
+	}
+	groups := it.groups
 	colored := e.opts.Policy.Colored
 	for len(groups) > 1 {
 		mid := len(groups) / 2
@@ -391,23 +435,32 @@ func (e *engine) interpret(w *worker, t int64, it item) (*node, int64) {
 		if colored && containsColor(second, w.color) && !containsColor(first, w.color) {
 			first, second = second, first
 		}
-		e.push(w, item{owner: it.owner, groups: second})
+		if len(second) == 1 {
+			e.push(w, item{owner: it.owner, single: second[0]})
+		} else {
+			e.push(w, item{owner: it.owner, groups: second})
+		}
 		groups = first
 	}
-	g := groups[0]
-	if it.owner != nil {
+	return e.interpretGroup(w, t, it.owner, groups[0])
+}
+
+// interpretGroup binary-splits a single color group, pushing inline
+// single-group continuations, and resolves the final leaf.
+func (e *engine) interpretGroup(w *worker, t int64, owner *node, g group) (*node, int64) {
+	if owner != nil {
 		keys := g.keys
 		for len(keys) > 1 {
 			mid := len(keys) / 2
-			e.push(w, item{owner: it.owner, groups: []group{{color: g.color, keys: keys[mid:]}}})
+			e.push(w, item{owner: owner, single: group{color: g.color, keys: keys[mid:]}})
 			keys = keys[:mid]
 		}
-		return e.tryInitCompute(w, t, it.owner, keys[0])
+		return e.tryInitCompute(w, t, owner, keys[0])
 	}
 	nodes := g.nodes
 	for len(nodes) > 1 {
 		mid := len(nodes) / 2
-		e.push(w, item{groups: []group{{color: g.color, nodes: nodes[mid:]}}})
+		e.push(w, item{single: group{color: g.color, nodes: nodes[mid:]}})
 		nodes = nodes[:mid]
 	}
 	return nodes[0], t
@@ -425,7 +478,7 @@ func (e *engine) tryInitCompute(w *worker, t int64, owner *node, pkey core.Key) 
 		if len(pred.preds) == 0 {
 			return pred, t
 		}
-		e.push(w, item{owner: pred, groups: e.groupKeys(pred.preds)})
+		e.push(w, e.groupKeys(pred, pred.preds))
 		return nil, t
 	}
 	t += m.EdgeOverhead
@@ -502,7 +555,7 @@ func (e *engine) complete(w *worker, t int64) {
 	n.computed = true
 	succs := n.succs
 	n.succs = nil
-	var ready []*node
+	ready := e.ready[:0]
 	for _, s := range succs {
 		s.join--
 		if s.join < 0 {
@@ -512,6 +565,7 @@ func (e *engine) complete(w *worker, t int64) {
 			ready = append(ready, s)
 		}
 	}
+	e.ready = ready
 	notifyOverhead := e.opts.Cost.EdgeOverhead * int64(len(succs))
 	t += notifyOverhead
 	w.stats.BusyTime += notifyOverhead
@@ -521,8 +575,16 @@ func (e *engine) complete(w *worker, t int64) {
 		e.makespan = t
 		return
 	}
+	if len(ready) == 1 {
+		// The push of a one-node item would be popped back by acquire and
+		// interpreted to exactly this node; skip the round trip (as the
+		// real engine does). The event loop is single-threaded, so no
+		// steal could have intervened between that push and pop.
+		e.startExec(w, t, ready[0])
+		return
+	}
 	if len(ready) > 0 {
-		e.push(w, item{groups: e.groupNodes(ready)})
+		e.push(w, e.groupNodes(ready))
 	}
 	e.acquire(w, t)
 }
