@@ -209,6 +209,57 @@ func BenchmarkRealHeatNabbitCHier(b *testing.B) {
 	}
 }
 
+// sizedHeatRun is the deque-sizing pin shared by the test (which CI
+// runs) and the benchmark: a heat run on a bound-declaring spec must
+// finish with zero deque growths on the dense backend. Two workers keep
+// bound/workers (385/2+1 = 193) well above the historical default
+// capacity of 64, so the bound-derived size — not the old default — is
+// what the assertion exercises (the clamp policy itself is pinned by
+// core's TestDequeCapacitySizing).
+func sizedHeatRun(fatalf func(format string, args ...any), chaselev bool) {
+	r := stencil.Heat(bench.ScaleSmall).NewReal()
+	spec, sink := r.Spec(2)
+	pol := core.NabbitCPolicy()
+	pol.UseChaseLev = chaselev
+	st, err := core.Run(spec, sink, core.Options{Workers: 2, Policy: pol})
+	if err != nil {
+		fatalf("%v", err)
+		return
+	}
+	if g := st.DequeGrows(); g != 0 {
+		fatalf("%d deque growths on a bound-sized run, want 0", g)
+	}
+	if st.NodeBackend != "dense" {
+		fatalf("heat ran on %q backend, want dense", st.NodeBackend)
+	}
+}
+
+// TestRealHeatDequeSizing runs the pin under plain `go test` so the
+// regression actually gates CI (benchmarks only run when asked for).
+func TestRealHeatDequeSizing(t *testing.T) {
+	for _, impl := range []struct {
+		name string
+		cl   bool
+	}{{"mutex", false}, {"chaselev", true}} {
+		t.Run(impl.name, func(t *testing.T) { sizedHeatRun(t.Fatalf, impl.cl) })
+	}
+}
+
+// BenchmarkRealHeatDequeSizing times the same sized run.
+func BenchmarkRealHeatDequeSizing(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		cl   bool
+	}{{"mutex", false}, {"chaselev", true}} {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sizedHeatRun(b.Fatalf, impl.cl)
+			}
+		})
+	}
+}
+
 func BenchmarkRealHeatOpenMPStatic(b *testing.B) {
 	b.ReportAllocs()
 	team := omp.NewTeam(8)

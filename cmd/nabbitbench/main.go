@@ -18,7 +18,10 @@
 //	                                             # (emits BENCH_<rev>.json)
 //
 // The experiment and bench modes accept -cpuprofile/-memprofile to write
-// pprof profiles of the run alongside its report output.
+// pprof profiles of the run alongside its report output, and -seed to
+// override the scheduling seed (checked-in baselines use the default).
+// All flags are validated before any workload runs, including that -out's
+// parent directory exists.
 //
 // Exit codes: 0 success, 1 perf regression (compare), 2 usage or schema
 // error.
@@ -30,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -59,6 +63,45 @@ func main() {
 func fail(code int, format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	return code
+}
+
+// checkOutPath validates an -out destination before any workload runs:
+// a typo'd directory should fail in milliseconds, not after minutes of
+// simulation. "" and "-" mean stdout and are always fine.
+func checkOutPath(path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("output directory %q does not exist", dir)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("output parent %q is not a directory", dir)
+	}
+	return nil
+}
+
+// checkSeed validates a -seed value (the flag is signed so that a typo'd
+// negative number errors instead of wrapping to a huge seed).
+func checkSeed(seed int64) error {
+	if seed < 0 {
+		return fmt.Errorf("bad seed %d (must be >= 0; 0 = policy default)", seed)
+	}
+	return nil
+}
+
+// checkWorkers validates a -workers value (0 = auto).
+func checkWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("bad worker count %d (must be >= 0; 0 = auto)", workers)
+	}
+	const max = 4096
+	if workers > max {
+		return fmt.Errorf("bad worker count %d (max %d)", workers, max)
+	}
+	return nil
 }
 
 // openOut returns the output writer for -out ("" or "-" = stdout).
@@ -130,6 +173,7 @@ func runExperiments(args []string) int {
 	format := fs.String("format", "",
 		fmt.Sprintf("output format: %s (default table)", strings.Join(harness.Formats(), ", ")))
 	csv := fs.Bool("csv", false, "emit CSV (deprecated: use -format csv)")
+	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
@@ -142,7 +186,13 @@ func runExperiments(args []string) int {
 		return fail(2, "unknown experiment %q (have %s, all)",
 			*experiment, strings.Join(harness.Experiments(), ", "))
 	}
-	cfg := harness.Config{CSV: *csv, Format: *format}
+	if err := checkSeed(*seed); err != nil {
+		return fail(2, "%v", err)
+	}
+	if err := checkOutPath(*out); err != nil {
+		return fail(2, "%v", err)
+	}
+	cfg := harness.Config{CSV: *csv, Format: *format, Seed: uint64(*seed)}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return fail(2, "%v", err)
@@ -263,6 +313,7 @@ func runBench(args []string) int {
 	scale := fs.String("scale", "small", "benchmark scale: default or small")
 	workers := fs.Int("workers", 0, "host workers (default min(8, NumCPU))")
 	repeats := fs.Int("repeats", 3, "runs per configuration; min wall time is reported")
+	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
 	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
 	out := fs.String("out", "", "output file (default BENCH_<rev>.json)")
 	profStart, profFinish := profileFlags(fs)
@@ -270,7 +321,16 @@ func runBench(args []string) int {
 	if fs.NArg() > 0 {
 		return fail(2, "unexpected argument %q", fs.Arg(0))
 	}
-	cfg := harness.WallclockConfig{Workers: *workers, Repeats: *repeats, Revision: *rev}
+	if err := checkWorkers(*workers); err != nil {
+		return fail(2, "%v", err)
+	}
+	if err := checkSeed(*seed); err != nil {
+		return fail(2, "%v", err)
+	}
+	if err := checkOutPath(*out); err != nil {
+		return fail(2, "%v", err)
+	}
+	cfg := harness.WallclockConfig{Workers: *workers, Repeats: *repeats, Revision: *rev, Seed: uint64(*seed)}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return fail(2, "%v", err)

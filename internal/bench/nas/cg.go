@@ -103,6 +103,11 @@ func (c *CG) sink() core.Key {
 	return c.key(c.cfg.Iterations, 0, 0)
 }
 
+// keyBound is the dense key universe: every phase index stays below
+// Blocks (reduction-tree slots run 1..Blocks-1), so the sink is the
+// largest key.
+func (c *CG) keyBound() int { return int(c.sink()) + 1 }
+
 // leftmostLeafBlock returns the block owning reduction-tree node i's
 // leftmost leaf (its color anchor).
 func (c *CG) leftmostLeafBlock(i int) int {
@@ -213,6 +218,7 @@ func (c *CG) Model(p int) (core.CostSpec, core.Key) {
 		PredsFn:     c.preds,
 		ColorFn:     func(k core.Key) int { return c.colorOf(k, p) },
 		FootprintFn: c.footprint,
+		BoundFn:     c.keyBound,
 	}, c.sink()
 }
 

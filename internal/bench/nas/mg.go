@@ -119,6 +119,12 @@ func (m *MG) sink() core.Key {
 	return m.key(m.cfg.Cycles, 0, 0, 0)
 }
 
+// keyBound is the dense key universe: the (cycle, level, phase, block)
+// encoding is injective with the sink as its largest key. Not every
+// encodable combination is reachable, but Color and FootprintOf are total
+// over the range, as BoundedSpec requires.
+func (m *MG) keyBound() int { return int(m.sink()) + 1 }
+
 // clampRange appends keys for blocks [lo, hi] clamped to level l.
 func (m *MG) appendClamped(ps []core.Key, c, l, phase, lo, hi int) []core.Key {
 	nb := m.blocksAt(l)
@@ -208,6 +214,7 @@ func (m *MG) Model(p int) (core.CostSpec, core.Key) {
 		PredsFn:     m.preds,
 		ColorFn:     func(k core.Key) int { return m.colorOf(k, p) },
 		FootprintFn: m.footprint,
+		BoundFn:     m.keyBound,
 	}, m.sink()
 }
 

@@ -127,6 +127,7 @@ func (rc *RealCG) Spec(p int) (core.CostSpec, core.Key) {
 		ColorFn:     func(k core.Key) int { return c.colorOf(k, p) },
 		ComputeFn:   rc.compute,
 		FootprintFn: c.footprint,
+		BoundFn:     c.keyBound,
 	}, c.sink()
 }
 

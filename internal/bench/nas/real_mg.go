@@ -220,6 +220,7 @@ func (r *RealMG) Spec(p int) (core.CostSpec, core.Key) {
 		ColorFn:     func(k core.Key) int { return m.colorOf(k, p) },
 		ComputeFn:   r.compute,
 		FootprintFn: m.footprint,
+		BoundFn:     m.keyBound,
 	}, m.sink()
 }
 

@@ -205,6 +205,10 @@ func (pr *PageRank) sink() core.Key {
 	return core.Key(pr.cfg.Iterations * pr.cfg.Blocks)
 }
 
+// keyBound is the dense key universe: all (iter, block) tasks plus the
+// sink, which is the largest key.
+func (pr *PageRank) keyBound() int { return int(pr.sink()) + 1 }
+
 func (pr *PageRank) preds(k core.Key) []core.Key {
 	c := pr.cfg
 	if k == pr.sink() {
@@ -270,6 +274,7 @@ func (pr *PageRank) Model(p int) (core.CostSpec, core.Key) {
 		PredsFn:     pr.preds,
 		ColorFn:     func(k core.Key) int { return pr.colorOf(k, p) },
 		FootprintFn: pr.footprint,
+		BoundFn:     pr.keyBound,
 	}, pr.sink()
 }
 

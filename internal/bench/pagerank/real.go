@@ -60,6 +60,7 @@ func (r *Real) Spec(p int) (core.CostSpec, core.Key) {
 			r.computeBlock(int(k)/pr.cfg.Blocks, int(k)%pr.cfg.Blocks)
 		},
 		FootprintFn: pr.footprint,
+		BoundFn:     pr.keyBound,
 	}, pr.sink()
 }
 

@@ -56,6 +56,7 @@ func (r *Real) Spec(p int) (core.CostSpec, core.Key) {
 			r.kernel.computeBlock(it, b)
 		},
 		FootprintFn: st.footprint,
+		BoundFn:     st.keyBound,
 	}, st.sink()
 }
 

@@ -123,6 +123,10 @@ func (st *Stencil) sink() core.Key {
 	return core.Key(st.cfg.Iterations * st.cfg.Blocks)
 }
 
+// keyBound is the dense key universe: all (iter, block) tasks plus the
+// sink, which is the largest key.
+func (st *Stencil) keyBound() int { return int(st.sink()) + 1 }
+
 // preds returns the 3-point stencil dependences of task k.
 func (st *Stencil) preds(k core.Key) []core.Key {
 	c := st.cfg
@@ -175,6 +179,7 @@ func (st *Stencil) Model(p int) (core.CostSpec, core.Key) {
 		PredsFn:     st.preds,
 		ColorFn:     func(k core.Key) int { return st.colorOf(k, p) },
 		FootprintFn: st.footprint,
+		BoundFn:     st.keyBound,
 	}, st.sink()
 }
 

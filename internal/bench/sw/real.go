@@ -93,6 +93,7 @@ func (r *Real) Spec(p int) (core.CostSpec, core.Key) {
 			r.computeBlock(int(k)/s.cfg.BJ, int(k)%s.cfg.BJ)
 		},
 		FootprintFn: s.footprint,
+		BoundFn:     s.keyBound,
 	}, s.sinkKey()
 }
 

@@ -99,6 +99,10 @@ func (s *SW) key(bi, bj int) core.Key { return core.Key(bi*s.cfg.BJ + bj) }
 // wavefront (no artificial sink node needed).
 func (s *SW) sinkKey() core.Key { return s.key(s.cfg.BI-1, s.cfg.BJ-1) }
 
+// keyBound is the dense key universe: the BI×BJ block grid, whose
+// bottom-right corner is both the sink and the largest key.
+func (s *SW) keyBound() int { return s.cfg.BI * s.cfg.BJ }
+
 func (s *SW) preds(k core.Key) []core.Key {
 	bi, bj := int(k)/s.cfg.BJ, int(k)%s.cfg.BJ
 	ps := make([]core.Key, 0, 3)
@@ -139,6 +143,7 @@ func (s *SW) Model(p int) (core.CostSpec, core.Key) {
 		PredsFn:     s.preds,
 		ColorFn:     func(k core.Key) int { return s.colorOf(k, p) },
 		FootprintFn: s.footprint,
+		BoundFn:     s.keyBound,
 	}, s.sinkKey()
 }
 

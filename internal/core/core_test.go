@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 	"unsafe"
 
 	"nabbitc/internal/numa"
@@ -453,7 +454,18 @@ func TestSerialParallelSameResult(t *testing.T) {
 func TestFirstStealChecksCounted(t *testing.T) {
 	rec := newRecorder()
 	spec, sink, _ := layeredDAG(10, 64, rec, func(k Key) int { return int(k) % 8 })
-	st, err := Run(spec, sink, Options{Workers: 8, Policy: NabbitCPolicy()})
+	// Give every task a blocking sliver of work: with trivial computes
+	// the whole run can finish on worker 0 before the other workers'
+	// goroutines are ever scheduled (certain at GOMAXPROCS=1), and no
+	// enforcement probe happens. Sleeping yields the P, so the idle
+	// workers get to run their probe loops mid-run.
+	fs := spec.(FuncSpec)
+	inner := fs.ComputeFn
+	fs.ComputeFn = func(k Key) {
+		inner(k)
+		time.Sleep(20 * time.Microsecond)
+	}
+	st, err := Run(fs, sink, Options{Workers: 8, Policy: NabbitCPolicy()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,78 @@
+// Package core implements Nabbit and NabbitC: dynamic task-graph
+// scheduling with optional locality-aware (colored) scheduling, the
+// primary contribution of "Locality-Aware Dynamic Task Graph Scheduling"
+// (Maglalang, Krishnamoorthy, Agrawal).
+//
+// A computation is a directed acyclic graph of tasks. Each task is named
+// by a Key and declares the keys of its predecessors; the graph is
+// explored on demand starting from a single sink task whose completion
+// ends the computation. Nabbit executes the graph with randomized work
+// stealing. NabbitC additionally lets the user assign each task a color —
+// the identity of the worker whose memory holds the task's data — and
+// biases scheduling so that workers preferentially execute tasks of their
+// own color via morphing continuations and colored steals, while
+// preserving Nabbit's asymptotic completion-time guarantees.
+//
+// The same graph state is driven by two engines: the real parallel engine
+// in this package (Run), and the deterministic virtual-time machine in
+// package sim used to reproduce the paper's 80-core experiments.
+//
+// # Design note: the node lifecycle word
+//
+// Every Node carries one atomic state word encoding its lifecycle phase
+// plus a successor-list claim bit. The phases are monotonic:
+//
+//	absent ──CAS──▶ initializing ──store──▶ ready ──store──▶ computed
+//
+// In detail:
+//
+//   - absent: the arena slot exists but no worker has named the key yet
+//     (map-backed nodes are born directly in ready — the shard lock
+//     already serializes their creation).
+//   - initializing: exactly one worker won the CAS from absent and is
+//     filling in the predecessor list and join counter. Losers of the CAS
+//     spin (briefly — Predecessors is cheap by Spec contract) until the
+//     ready store publishes the fields; the atomic load/store pair gives
+//     the required happens-before edge.
+//   - ready: the node is fully initialized. Predecessor accounting runs:
+//     successors register via addSuccessor (append under the claim bit)
+//     and predecessors decrement the join counter. The worker whose
+//     decrement reaches zero computes the node.
+//   - computed: markComputed drained the successor list and published the
+//     computed phase, the cleared claim bit, and the drained list in a
+//     single atomic store; from that instant addSuccessor refuses new
+//     registrations, so every successor is notified exactly once.
+//
+// The claim bit (succLockBit) is a short CAS-acquired spin lock guarding
+// the succs slice — held across one append or one slice swap, never
+// across a spec call. It replaces the per-node sync.Mutex the
+// addSuccessor/markComputed handshake previously took: the uncontended
+// cost drops to one CAS + one store, there is no futex slow path, and
+// folding it into the lifecycle word lets one load answer "computed?"
+// on the scan fast path (previously a separate mirror atomic).
+//
+// # Design note: dense arena vs sharded map
+//
+// The engine resolves keys through one of two nodeTable backends, chosen
+// per run (Options.NodeTable, default auto):
+//
+//   - nodeArena — used when the spec declares a bounded key universe
+//     (BoundedSpec / FuncSpec.BoundFn). One flat []Node is preallocated
+//     for the whole universe, with a key → slot index computed up front.
+//     getOrCreate is an array index plus one atomic load (lookup) or one
+//     CAS (create): no hashing, no locks, no per-node allocation. Slots
+//     are laid out home-major (HomeMajorIndex): tasks whose data lives at
+//     the same color sit contiguously, so a worker sweeping its own
+//     color's tasks walks a dense region of the arena instead of chasing
+//     map buckets — the paper's assumption that task data clusters at its
+//     home color, applied to the scheduler's own metadata. All benchmark
+//     workloads (stencil grids, CSR blocks, wavefronts) have such bounds
+//     known at spec time.
+//   - nodeMap — a 128-way sharded RWMutex hash map, the fallback for
+//     truly dynamic specs that cannot bound their key space.
+//
+// Both backends hand out identical *Node values running the lifecycle
+// protocol above, so the scheduler proper is backend-oblivious, and the
+// simulator mirrors the same split with byte-identical schedules across
+// backends (see internal/sim).
+package core

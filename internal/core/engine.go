@@ -18,11 +18,74 @@ import (
 type engine struct {
 	spec    Spec
 	opts    Options
-	nm      *nodeMap
+	nt      nodeTable
 	workers []*worker
 	sinkKey Key
 	done    atomic.Bool
 	start   time.Time
+}
+
+// ResolveNodeTable resolves the requested backend against the spec's
+// declared bound: NodeTableAuto picks dense for bounds in
+// (0, DenseAutoMaxKeys], and forcing dense without a bound is an error.
+// The simulator resolves through this same function, so the two machines
+// can never pick different backends for the same spec (the same reason
+// HomeMajorIndex is shared).
+func ResolveNodeTable(spec Spec, backend NodeTableBackend) (NodeTableBackend, error) {
+	bound := KeyBoundOf(spec)
+	switch backend {
+	case NodeTableSharded:
+		return NodeTableSharded, nil
+	case NodeTableDense:
+		if bound <= 0 {
+			return 0, fmt.Errorf("core: NodeTableDense requires a spec with a positive key bound (got %d)", bound)
+		}
+		return NodeTableDense, nil
+	case NodeTableAuto:
+		if bound > 0 && bound <= DenseAutoMaxKeys {
+			return NodeTableDense, nil
+		}
+		return NodeTableSharded, nil
+	default:
+		return 0, fmt.Errorf("core: unknown node-table backend %v", backend)
+	}
+}
+
+// newNodeTable picks and builds the run's node store per Options.NodeTable
+// (see doc.go's backend design note) and names the choice for Stats.
+func newNodeTable(spec Spec, opts Options) (nodeTable, string, error) {
+	backend, err := ResolveNodeTable(spec, opts.NodeTable)
+	if err != nil {
+		return nil, "", err
+	}
+	if backend == NodeTableDense {
+		return newNodeArena(spec, KeyBoundOf(spec), opts.Workers), "dense", nil
+	}
+	return newNodeMap(spec), "sharded", nil
+}
+
+// dequeCapacity sizes a worker's initial deque from the spec's key bound
+// when one is declared: the deepest a deque gets tracks the worker's
+// share of the graph's frontier, so bound/workers (clamped to the old
+// default below and a growth-irrelevant ceiling above) preallocates past
+// any growth churn on the first run. Unbounded specs keep the historical
+// default.
+func dequeCapacity(bound, workers int) int {
+	const (
+		defaultCap = 64
+		maxCap     = 8192
+	)
+	if bound <= 0 {
+		return defaultCap
+	}
+	c := bound/workers + 1
+	if c < defaultCap {
+		return defaultCap
+	}
+	if c > maxCap {
+		return maxCap
+	}
+	return c
 }
 
 type worker struct {
@@ -65,20 +128,25 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	nt, backend, err := newNodeTable(spec, opts)
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		spec:    spec,
 		opts:    opts,
-		nm:      newNodeMap(spec),
+		nt:      nt,
 		sinkKey: sink,
 	}
 	p := opts.Policy
+	dqCap := dequeCapacity(KeyBoundOf(spec), opts.Workers)
 	e.workers = make([]*worker, opts.Workers)
 	for i := range e.workers {
 		var dq deque.Queue[item]
 		if p.UseChaseLev {
-			dq = deque.NewChaseLev[item](64)
+			dq = deque.NewChaseLev[item](dqCap)
 		} else {
-			dq = deque.NewMutex[item](64)
+			dq = deque.NewMutex[item](dqCap)
 		}
 		lo, hi := opts.Topology.SocketWorkers(i)
 		mask := colorset.New(opts.Workers)
@@ -114,7 +182,7 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 	wg.Wait()
 	elapsed := time.Since(e.start)
 
-	sinkNode, ok := e.nm.get(sink)
+	sinkNode, ok := e.nt.get(sink)
 	if !ok || !sinkNode.Computed() {
 		return nil, fmt.Errorf("core: run ended without computing sink %d", sink)
 	}
@@ -122,13 +190,15 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 	st := &Stats{
 		Workers:      make([]WorkerStats, len(e.workers)),
 		Elapsed:      elapsed,
-		NodesCreated: e.nm.count(),
+		NodesCreated: e.nt.count(),
+		NodeBackend:  backend,
 		Topology:     opts.Topology,
 	}
 	for i, w := range e.workers {
 		if !w.startedWork {
 			w.stats.TimeToFirstWork = elapsed
 		}
+		w.stats.DequeGrows = w.dq.Grows()
 		st.Workers[i] = w.stats
 	}
 	return st, nil
@@ -151,7 +221,7 @@ func (w *worker) loop(seedRoot bool) {
 	}
 	if seedRoot {
 		w.markStarted()
-		n, created := w.e.nm.getOrCreate(w.e.sinkKey)
+		n, created := w.e.nt.getOrCreate(w.e.sinkKey)
 		if !created {
 			panic("core: sink node pre-existed at run start")
 		}
@@ -256,7 +326,7 @@ func (w *worker) runGroup(owner *Node, g group) {
 // predecessor's successor list, or — if the predecessor has already
 // computed — account it directly, possibly making owner ready.
 func (w *worker) tryInitCompute(owner *Node, pkey Key) {
-	pred, created := w.e.nm.getOrCreate(pkey)
+	pred, created := w.e.nt.getOrCreate(pkey)
 	if created {
 		// We created pred, so it cannot have computed yet; owner's
 		// join will be accounted by pred's completion notification.

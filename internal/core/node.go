@@ -1,10 +1,33 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 )
+
+// Node lifecycle phases, held in the low bits of Node.state (see doc.go
+// for the full state machine). The phase is monotonic: absent →
+// initializing → ready → computed.
+const (
+	nodeAbsent   uint32 = iota // arena slot exists, node not yet created
+	nodeIniting                // creator won the claim and is filling fields
+	nodeReady                  // fields published; successors may register
+	nodeComputed               // Compute finished; successor list drained
+)
+
+// succLockBit is the successor-list claim bit in Node.state: a short
+// CAS-acquired spin lock guarding succs, orthogonal to the phase bits. It
+// is only ever held across a bounded handful of instructions (one append,
+// or one slice swap), so spinning is cheaper than a sync.Mutex — and
+// folding it into the lifecycle word lets markComputed publish "computed,
+// unlocked, drained" in a single atomic store.
+const succLockBit uint32 = 1 << 31
+
+// nodePhase strips the claim bit off a state-word value.
+func nodePhase(v uint32) uint32 { return v &^ succLockBit }
 
 // Node is the runtime state of one task. Nodes are created on demand the
 // first time any worker names their key, and live until the run ends.
@@ -17,6 +40,9 @@ import (
 // node in its successor list. The worker whose decrement takes the join
 // counter to zero executes the node. Nodes with no predecessors execute
 // immediately upon creation by their creator.
+//
+// All cross-worker coordination rides the single atomic state word (phase
+// + successor-list claim bit); see doc.go for the protocol.
 type Node struct {
 	key   Key
 	color int
@@ -26,12 +52,10 @@ type Node struct {
 	// it to zero owns the right (and obligation) to compute the node.
 	join atomic.Int32
 
-	mu       sync.Mutex
-	succs    []*Node
-	computed bool
-	// computedFast mirrors `computed` for lock-free reads on the scan
-	// fast path; the authoritative value is the locked field.
-	computedFast atomic.Bool
+	// state is the lifecycle word: phase in the low bits, succLockBit on
+	// top. succs may be touched only while holding the claim bit.
+	state atomic.Uint32
+	succs []*Node
 }
 
 // Key returns the node's task key.
@@ -48,33 +72,51 @@ func (n *Node) Home() int { return n.home }
 func (n *Node) Preds() []Key { return n.preds }
 
 // Computed reports whether the task has finished executing.
-func (n *Node) Computed() bool { return n.computedFast.Load() }
+func (n *Node) Computed() bool { return nodePhase(n.state.Load()) == nodeComputed }
+
+// lockSuccs acquires the successor-list claim bit and returns the state
+// word as it was without the bit (i.e. the value to store to unlock
+// without a phase change).
+func (n *Node) lockSuccs() uint32 {
+	// The holder is mid-append or mid-drain — a handful of instructions —
+	// so a short tight retry loop wins over yielding; the Gosched
+	// fallback only matters if the holder got preempted mid-hold.
+	for spins := 0; ; spins++ {
+		v := n.state.Load()
+		if v&succLockBit == 0 && n.state.CompareAndSwap(v, v|succLockBit) {
+			return v
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
 
 // addSuccessor appends s to n's successor list so that n's completion will
 // account one of s's predecessors. It returns false — and appends nothing —
 // if n has already computed, in which case the caller must account the
 // predecessor itself.
 func (n *Node) addSuccessor(s *Node) bool {
-	n.mu.Lock()
-	if n.computed {
-		n.mu.Unlock()
+	v := n.lockSuccs()
+	if v == nodeComputed {
+		n.state.Store(v)
 		return false
 	}
 	n.succs = append(n.succs, s)
-	n.mu.Unlock()
+	n.state.Store(v)
 	return true
 }
 
 // markComputed transitions the node to computed and returns the successor
-// list to notify. After this returns, addSuccessor refuses new entries, so
-// every successor is notified exactly once.
+// list to notify. The computed phase and the drained list are published by
+// one atomic store (which also releases the claim bit), so addSuccessor
+// refuses new entries from that instant on and every successor is notified
+// exactly once.
 func (n *Node) markComputed() []*Node {
-	n.mu.Lock()
-	n.computed = true
-	n.computedFast.Store(true)
+	n.lockSuccs()
 	succs := n.succs
 	n.succs = nil
-	n.mu.Unlock()
+	n.state.Store(nodeComputed)
 	return succs
 }
 
@@ -86,6 +128,26 @@ func (n *Node) decJoin() bool {
 		panic("core: join counter went negative — a predecessor was accounted twice")
 	}
 	return v == 0
+}
+
+// nodeTable is the engine's key → node store, providing the atomic
+// create-or-get that Nabbit's dynamic exploration relies on (the paper's
+// "atomically attempt to create a predecessor with key pkey"). Two
+// backends implement it: nodeMap, a sharded hash map for arbitrary key
+// universes, and nodeArena, a flat preallocated array for specs that
+// declare a bounded key universe (BoundedSpec). getOrCreate and get are
+// worker-hot; count is post-run only.
+type nodeTable interface {
+	// getOrCreate returns the node for k, creating it if absent. The
+	// boolean reports whether this call created the node; exactly one
+	// caller per key observes true, and that caller is responsible for
+	// processing the node's predecessors (the node is returned fully
+	// initialized either way).
+	getOrCreate(k Key) (*Node, bool)
+	// get returns the node for k if it has been created.
+	get(k Key) (*Node, bool)
+	// count returns the number of created nodes.
+	count() int
 }
 
 // nodeShardCount is a power of two sized to keep per-shard contention low
@@ -101,9 +163,8 @@ type nodeShard struct {
 	_ [64 - (unsafe.Sizeof(sync.RWMutex{})+unsafe.Sizeof(map[Key]*Node(nil)))%64]byte
 }
 
-// nodeMap is the on-demand node table: a sharded hash map providing the
-// atomic create-or-get that Nabbit's dynamic exploration relies on (the
-// paper's "atomically attempt to create a predecessor with key pkey").
+// nodeMap is the sharded-hash-map nodeTable: the fallback for specs whose
+// key universe is unbounded or too large to preallocate.
 type nodeMap struct {
 	spec   Spec
 	shards [nodeShardCount]nodeShard
@@ -122,10 +183,6 @@ func shardOf(k Key) uint64 {
 	return (uint64(k) * 0x9e3779b97f4a7c15) >> (64 - 7)
 }
 
-// getOrCreate returns the node for k, creating it if absent. The boolean
-// reports whether this call created the node; exactly one caller per key
-// observes true, and that caller is responsible for processing the node's
-// predecessors (the node is returned fully initialized either way).
 func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 	sh := &nm.shards[shardOf(k)]
 	// Fast path: most getOrCreate calls are lookups of existing nodes
@@ -145,14 +202,12 @@ func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 	}
 	// Initialize outside the shard lock? Predecessors() may be
 	// arbitrarily expensive, but releasing the lock would let a second
-	// creator race. Insert a placeholder first, then fill it in: other
-	// threads only need the pointer identity (to enqueue successors),
-	// and the fields they read (join via decJoin, succs via
-	// addSuccessor) are safe on a zero node... except join must be set
-	// before any decrement. Keep initialization under the lock instead:
-	// Predecessors is required to be cheap per call (specs precompute),
-	// and a placeholder protocol would trade a rare stall for a subtle
-	// published-before-initialized hazard.
+	// creator race. Keep initialization under the lock: Predecessors is
+	// required to be cheap per call (specs precompute), and a placeholder
+	// protocol would trade a rare stall for a subtle
+	// published-before-initialized hazard. (The arena backend does run
+	// the placeholder protocol — its lifecycle word makes the hazard
+	// tractable; see nodeArena.getOrCreate.)
 	n := &Node{
 		key:   k,
 		color: nm.spec.Color(k),
@@ -160,6 +215,7 @@ func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 		preds: nm.spec.Predecessors(k),
 	}
 	n.join.Store(int32(len(n.preds)))
+	n.state.Store(nodeReady)
 	sh.m[k] = n
 	sh.mu.Unlock()
 	return n, true
@@ -175,7 +231,6 @@ func (nm *nodeMap) get(k Key) (*Node, bool) {
 	return n, ok
 }
 
-// count returns the number of created nodes.
 func (nm *nodeMap) count() int {
 	total := 0
 	for i := range nm.shards {
@@ -187,7 +242,8 @@ func (nm *nodeMap) count() int {
 	return total
 }
 
-// forEach visits every created node. Not for use while workers run.
+// forEach visits every created node. Not for use while workers run; not
+// part of the nodeTable contract (nothing engine-side iterates nodes).
 func (nm *nodeMap) forEach(fn func(*Node)) {
 	for i := range nm.shards {
 		sh := &nm.shards[i]
@@ -198,3 +254,149 @@ func (nm *nodeMap) forEach(fn func(*Node)) {
 		sh.mu.RUnlock()
 	}
 }
+
+// HomeMajorIndex computes the dense arena's key → slot assignment: slots
+// are ordered by home color (keys with the same home contiguous, homes
+// ascending), stable by key within a home. Homes outside [0, workers) —
+// colors the scheduler cannot localize anyway — share one overflow bucket
+// after the real homes. Both the real engine's arena and the simulator's
+// mirror call this one function, so their layouts can never drift apart.
+func HomeMajorIndex(bound, workers int, homeOf func(Key) int) []int32 {
+	buckets := workers + 1
+	bucketOf := make([]int32, bound)
+	starts := make([]int32, buckets+1)
+	for k := 0; k < bound; k++ {
+		b := int32(workers)
+		if h := homeOf(Key(k)); h >= 0 && h < workers {
+			b = int32(h)
+		}
+		bucketOf[k] = b
+		starts[b+1]++
+	}
+	for b := 0; b < buckets; b++ {
+		starts[b+1] += starts[b]
+	}
+	idx := make([]int32, bound)
+	for k := 0; k < bound; k++ {
+		b := bucketOf[k]
+		idx[k] = starts[b]
+		starts[b]++
+	}
+	return idx
+}
+
+// nodeArena is the dense nodeTable: one flat []Node preallocated for the
+// whole key universe [0, bound), laid out home-major (HomeMajorIndex) so
+// tasks whose data lives at the same color are contiguous in memory — the
+// cache/NUMA-locality layout the paper's locality-aware variant assumes.
+// Key, color and home are prefilled at construction; create-or-get is a
+// single CAS on the node's lifecycle word with no lock, no hashing, and
+// no allocation (the predecessor slice comes from the spec).
+type nodeArena struct {
+	spec    Spec
+	index   []int32 // key -> slot in nodes
+	nodes   []Node
+	created atomic.Int64
+}
+
+func newNodeArena(spec Spec, bound, workers int) *nodeArena {
+	// One pass over the universe caches every key's color and true home
+	// (mirroring HomeOf without a second Color call per key), then the
+	// shared layout function turns the homes into slot assignments.
+	colors := make([]int32, bound)
+	homes := make([]int32, bound)
+	hs, hasHome := spec.(HomeSpec)
+	for k := 0; k < bound; k++ {
+		c := spec.Color(Key(k))
+		h := c
+		if hasHome {
+			h = hs.Home(Key(k))
+		}
+		colors[k] = int32(c)
+		homes[k] = int32(h)
+	}
+	a := &nodeArena{
+		spec:  spec,
+		index: HomeMajorIndex(bound, workers, func(k Key) int { return int(homes[k]) }),
+		nodes: make([]Node, bound),
+	}
+	for k := 0; k < bound; k++ {
+		n := &a.nodes[a.index[k]]
+		n.key = Key(k)
+		n.color = int(colors[k])
+		n.home = int(homes[k])
+	}
+	return a
+}
+
+// getOrCreate claims the slot's lifecycle word: the CAS winner fills the
+// node in and publishes it with the ready store; losers (and every later
+// lookup) take the phase-load fast path. Unlike the sharded map, a lookup
+// costs one array index and one atomic load — no hashing, no lock — and
+// creation allocates nothing.
+func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
+	if k < 0 || int64(k) >= int64(len(a.index)) {
+		panic(fmt.Sprintf("core: key %d outside the spec's declared bound %d", k, len(a.index)))
+	}
+	n := &a.nodes[a.index[k]]
+	if nodePhase(n.state.Load()) >= nodeReady {
+		return n, false
+	}
+	if n.state.CompareAndSwap(nodeAbsent, nodeIniting) {
+		n.preds = a.spec.Predecessors(k)
+		n.join.Store(int32(len(n.preds)))
+		a.created.Add(1)
+		n.state.Store(nodeReady)
+		return n, true
+	}
+	// Lost the creation race: the winner is inside the (cheap, by spec
+	// contract) Predecessors call. Spin until the ready store publishes
+	// the fields; the atomic load pairs with it, so everything the winner
+	// wrote is visible here.
+	for spins := 0; nodePhase(n.state.Load()) < nodeReady; spins++ {
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	return n, false
+}
+
+func (a *nodeArena) get(k Key) (*Node, bool) {
+	if k < 0 || int64(k) >= int64(len(a.index)) {
+		return nil, false
+	}
+	n := &a.nodes[a.index[k]]
+	if nodePhase(n.state.Load()) < nodeReady {
+		return nil, false
+	}
+	return n, true
+}
+
+func (a *nodeArena) count() int { return int(a.created.Load()) }
+
+// NodeStore is an exported handle to a node table outside any engine run
+// — the hook the harness's deterministic alloc ablation and external
+// benchmarks use to measure the backends' create-or-get paths directly.
+// The engine builds its own table per run; a NodeStore never feeds one.
+type NodeStore struct{ nt nodeTable }
+
+// NewNodeStore builds a standalone node table for spec with the given
+// backend (NodeTableAuto resolves exactly as a run would). Unlike Run
+// there is no withDefaults step here, so workers is validated directly.
+func NewNodeStore(spec Spec, workers int, backend NodeTableBackend) (*NodeStore, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("core: NewNodeStore needs workers >= 1, got %d", workers)
+	}
+	nt, _, err := newNodeTable(spec, Options{Workers: workers, NodeTable: backend})
+	if err != nil {
+		return nil, err
+	}
+	return &NodeStore{nt: nt}, nil
+}
+
+// GetOrCreate returns the node for k, creating it if absent; the boolean
+// reports creation.
+func (s *NodeStore) GetOrCreate(k Key) (*Node, bool) { return s.nt.getOrCreate(k) }
+
+// Count returns the number of created nodes.
+func (s *NodeStore) Count() int { return s.nt.count() }

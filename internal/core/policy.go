@@ -133,6 +133,41 @@ func (p Policy) WithDefaults() Policy {
 	return p
 }
 
+// NodeTableBackend selects the engine's key → node store (see doc.go's
+// backend design note).
+type NodeTableBackend int
+
+const (
+	// NodeTableAuto picks the dense arena when the spec declares a key
+	// bound no larger than DenseAutoMaxKeys, the sharded map otherwise.
+	NodeTableAuto NodeTableBackend = iota
+	// NodeTableSharded forces the sharded hash map.
+	NodeTableSharded
+	// NodeTableDense forces the flat arena; the run fails to start if the
+	// spec declares no key bound.
+	NodeTableDense
+)
+
+// String names the backend.
+func (b NodeTableBackend) String() string {
+	switch b {
+	case NodeTableAuto:
+		return "auto"
+	case NodeTableSharded:
+		return "sharded"
+	case NodeTableDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// DenseAutoMaxKeys is the largest declared key bound the auto backend
+// will preallocate an arena for (~2M nodes, a few hundred MB — well past
+// the paper's 102400-node graphs). Larger universes fall back to the
+// sharded map unless NodeTableDense is forced explicitly.
+const DenseAutoMaxKeys = 1 << 21
+
 // Options configures a run of the real parallel engine.
 type Options struct {
 	// Workers is the number of scheduler workers (the paper's P). Each
@@ -154,6 +189,9 @@ type Options struct {
 	// §V-B replay methodology uses. It is called from worker goroutines
 	// concurrently and must be safe for concurrent use.
 	OnComplete func(worker int, k Key)
+	// NodeTable selects the node-store backend (default NodeTableAuto:
+	// dense arena for bounded specs, sharded map otherwise).
+	NodeTable NodeTableBackend
 }
 
 func (o Options) withDefaults() (Options, error) {

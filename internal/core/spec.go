@@ -1,21 +1,3 @@
-// Package core implements Nabbit and NabbitC: dynamic task-graph
-// scheduling with optional locality-aware (colored) scheduling, the
-// primary contribution of "Locality-Aware Dynamic Task Graph Scheduling"
-// (Maglalang, Krishnamoorthy, Agrawal).
-//
-// A computation is a directed acyclic graph of tasks. Each task is named
-// by a Key and declares the keys of its predecessors; the graph is
-// explored on demand starting from a single sink task whose completion
-// ends the computation. Nabbit executes the graph with randomized work
-// stealing. NabbitC additionally lets the user assign each task a color —
-// the identity of the worker whose memory holds the task's data — and
-// biases scheduling so that workers preferentially execute tasks of their
-// own color via morphing continuations and colored steals, while
-// preserving Nabbit's asymptotic completion-time guarantees.
-//
-// The same graph state is driven by two engines: the real parallel engine
-// in this package (Run), and the deterministic virtual-time machine in
-// package sim used to reproduce the paper's 80-core experiments.
 package core
 
 import "nabbitc/internal/numa"
@@ -91,6 +73,39 @@ func HomeOf(s Spec, k Key) int {
 	return s.Color(k)
 }
 
+// BoundedSpec is implemented by specs whose key universe is a bounded
+// dense integer range: every key the graph can name lies in
+// [0, KeyBound()). Declaring a bound lets the engines replace the sharded
+// node map with a flat preallocated arena (lock-free create-or-get,
+// home-major layout; see doc.go) and size worker deques up front. A
+// KeyBound() <= 0 means "unbounded" — the spec behaves as if the
+// interface were absent.
+//
+// Color (and Home, when implemented) must be total over the whole range —
+// they are evaluated for every key in [0, KeyBound()) at arena
+// construction, including keys the graph never reaches. Predecessors is
+// still only called for keys actually named.
+type BoundedSpec interface {
+	Spec
+	// KeyBound returns the exclusive upper bound of the key universe,
+	// or <= 0 when the universe is unbounded.
+	KeyBound() int
+}
+
+// KeyBoundOf returns the spec's declared key bound, or 0 when the spec is
+// unbounded (no BoundedSpec, or a non-positive bound).
+func KeyBoundOf(s Spec) int {
+	bs, ok := s.(BoundedSpec)
+	if !ok {
+		return 0
+	}
+	b := bs.KeyBound()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
 // Cost converts a footprint into virtual time for a task of color home
 // executed by a worker of color w, excluding per-node/per-edge scheduler
 // overheads (the engine charges those separately).
@@ -113,6 +128,9 @@ type FuncSpec struct {
 	ColorFn     func(Key) int
 	ComputeFn   func(Key)
 	FootprintFn func(Key) Footprint
+	// BoundFn, when set, declares the dense key universe [0, BoundFn())
+	// (see BoundedSpec); nil or non-positive means unbounded.
+	BoundFn func() int
 }
 
 // Predecessors implements Spec.
@@ -146,6 +164,14 @@ func (s FuncSpec) FootprintOf(k Key) Footprint {
 	return s.FootprintFn(k)
 }
 
+// KeyBound implements BoundedSpec; a nil BoundFn means unbounded.
+func (s FuncSpec) KeyBound() int {
+	if s.BoundFn == nil {
+		return 0
+	}
+	return s.BoundFn()
+}
+
 // Recolored wraps a spec, replacing its coloring — used by the bad- and
 // invalid-coloring ablations (Tables II and III) and by examples that
 // compare colorings.
@@ -170,3 +196,7 @@ func (r Recolored) FootprintOf(k Key) Footprint {
 	}
 	return Footprint{Compute: 1}
 }
+
+// KeyBound forwards the wrapped spec's bound: recoloring changes colors,
+// not the key universe.
+func (r Recolored) KeyBound() int { return KeyBoundOf(r.Spec) }

@@ -53,6 +53,12 @@ type WorkerStats struct {
 	TimeToFirstWork time.Duration
 	// IdleTime is total wall-clock time spent looking for work.
 	IdleTime time.Duration
+
+	// DequeGrows counts buffer growths of this worker's deque during the
+	// run. With a spec-declared key bound the initial capacity is sized
+	// to cover the run, so this should stay zero (pinned by the root
+	// package's TestRealHeatDequeSizing).
+	DequeGrows int64
 }
 
 // Stats aggregates a completed run.
@@ -63,8 +69,20 @@ type Stats struct {
 	Elapsed time.Duration
 	// NodesCreated is the number of task-graph nodes materialized.
 	NodesCreated int
+	// NodeBackend names the node-table backend the run used ("dense" or
+	// "sharded"; see Options.NodeTable).
+	NodeBackend string
 	// Topology is the topology the run was accounted against.
 	Topology numa.Topology
+}
+
+// DequeGrows returns the total deque buffer growths across all workers.
+func (s *Stats) DequeGrows() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].DequeGrows
+	}
+	return n
 }
 
 // TotalNodes returns the number of tasks executed across all workers.

@@ -58,6 +58,11 @@ type ChaseLev[T any] struct {
 	top    atomic.Int64
 	bottom atomic.Int64
 	buf    atomic.Pointer[clBuffer[T]]
+	// grows is owner-written (inside PushBottom) and read only when the
+	// owner is quiescent, so it needs no atomicity — but the race
+	// detector sees the post-run read from another goroutine, so it is
+	// stored atomically anyway (off the hot path: only on grow).
+	grows atomic.Int64
 }
 
 // clSlot is one buffer cell. readers counts thieves between claim recheck
@@ -185,6 +190,7 @@ func (d *ChaseLev[T]) grow(buf *clBuffer[T], t, b int64) *clBuffer[T] {
 		ns.colorsBig.Store(os.colorsBig.Load())
 	}
 	d.buf.Store(nb)
+	d.grows.Add(1)
 	return nb
 }
 
@@ -366,6 +372,9 @@ func (d *ChaseLev[T]) StealHalfColored(color int, max int) ([]Entry[T], StealOut
 	}
 	return out, StealOK
 }
+
+// Grows returns how many times the circular buffer has grown.
+func (d *ChaseLev[T]) Grows() int64 { return d.grows.Load() }
 
 // Len returns an advisory item count.
 func (d *ChaseLev[T]) Len() int {

@@ -92,4 +92,9 @@ type Queue[T any] interface {
 	// Len returns the current number of items. It is advisory under
 	// concurrency.
 	Len() int
+	// Grows returns how many times the deque's buffer has grown since
+	// construction — the growth-churn signal the engine sizes initial
+	// capacities to eliminate. Owner-written; read it only when the owner
+	// is quiescent (e.g. after a run).
+	Grows() int64
 }

@@ -10,10 +10,11 @@ import (
 // default: the owner's push/pop and a thief's steal each take the lock
 // briefly, and per-deque contention in work stealing is low by design.
 type Mutex[T any] struct {
-	mu   sync.Mutex
-	buf  []Entry[T]
-	head int // index of the top (oldest) element
-	n    int // number of elements
+	mu    sync.Mutex
+	buf   []Entry[T]
+	head  int // index of the top (oldest) element
+	n     int // number of elements
+	grows int64
 }
 
 // NewMutex returns an empty deque with the given initial capacity hint.
@@ -32,6 +33,7 @@ func (d *Mutex[T]) grow() {
 	copy(nb[n:], d.buf[:d.head])
 	d.buf = nb
 	d.head = 0
+	d.grows++
 }
 
 // PushBottom adds an item at the bottom (newest end).
@@ -168,4 +170,12 @@ func (d *Mutex[T]) Len() int {
 	n := d.n
 	d.mu.Unlock()
 	return n
+}
+
+// Grows returns how many times the ring buffer has grown.
+func (d *Mutex[T]) Grows() int64 {
+	d.mu.Lock()
+	g := d.grows
+	d.mu.Unlock()
+	return g
 }

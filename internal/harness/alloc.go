@@ -44,14 +44,23 @@ const (
 // measureAllocs runs op allocIters times per trial and returns the per-op
 // heap allocation count and byte volume (minimum across trials).
 func measureAllocs(op func()) (allocsPerOp, bytesPerOp float64) {
+	return measureAllocsSetup(func() func() { return op }, allocIters)
+}
+
+// measureAllocsSetup is measureAllocs for operations that consume state:
+// setup runs once per trial, outside the measured window, and returns the
+// op closure for that trial (e.g. a fresh node table whose keys the op
+// creates one by one). iters is the per-trial op count.
+func measureAllocsSetup(setup func() func(), iters int) (allocsPerOp, bytesPerOp float64) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	var before, after runtime.MemStats
 	minMallocs, minBytes := ^uint64(0), ^uint64(0)
 	seenMin := 0
 	for trial := 0; trial < allocMaxTrials && seenMin < allocMinTrials; trial++ {
+		op := setup()
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		for i := 0; i < allocIters; i++ {
+		for i := 0; i < iters; i++ {
 			op()
 		}
 		runtime.ReadMemStats(&after)
@@ -66,7 +75,7 @@ func measureAllocs(op func()) (allocsPerOp, bytesPerOp float64) {
 			minBytes = b
 		}
 	}
-	return float64(minMallocs) / allocIters, float64(minBytes) / allocIters
+	return float64(minMallocs) / float64(iters), float64(minBytes) / float64(iters)
 }
 
 // allocColors is the color capacity used by the deque scenarios: the

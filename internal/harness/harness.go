@@ -41,6 +41,11 @@ type Config struct {
 	Benchmarks []string
 	// Cost overrides the machine cost model.
 	Cost numa.CostModel
+	// Seed, when nonzero, overrides the scheduling seed of every policy
+	// the experiments run (victim selection; 0 keeps each policy's
+	// default). Changing it changes the emitted document — regenerated
+	// baselines must use the default.
+	Seed uint64
 	// Format selects the renderer: FormatTable (default), FormatCSV, or
 	// FormatJSON (one perf.Document over the whole run).
 	Format string
@@ -109,6 +114,7 @@ var experiments = []struct {
 	{"ablate", ablateReport},
 	{"hier", hierReport},
 	{"alloc", allocReport},
+	{"arena", arenaReport},
 }
 
 // Experiments lists the runnable experiment names.
@@ -230,11 +236,26 @@ func (c Config) serialTime(b bench.Benchmark) (int64, error) {
 	return sim.SerialTime(spec, sink, c.Cost)
 }
 
+// applySeed is the one definition of what a seed override means, shared
+// by the experiment and wall-clock runners: nonzero replaces the policy's
+// seed, zero keeps its default.
+func applySeed(pol core.Policy, seed uint64) core.Policy {
+	if seed != 0 {
+		pol.Seed = seed
+	}
+	return pol
+}
+
+// policy applies the config's seed override to pol.
+func (c Config) policy(pol core.Policy) core.Policy {
+	return applySeed(pol, c.Seed)
+}
+
 // runTaskGraph runs benchmark b under the given policy on p simulated
 // cores.
 func (c Config) runTaskGraph(b bench.Benchmark, p int, pol core.Policy) (*sim.Result, error) {
 	spec, sink := b.Model(p)
-	return sim.Run(spec, sink, sim.Options{Workers: p, Policy: pol, Cost: c.Cost})
+	return sim.Run(spec, sink, sim.Options{Workers: p, Policy: c.policy(pol), Cost: c.Cost})
 }
 
 // runOMP runs the OpenMP formulation under the given schedule.
@@ -464,7 +485,7 @@ func coloringReport(cfg Config, name, caption string, alter func(core.CostSpec, 
 			spec, sink := b.Model(p)
 			altered := alter(spec, p)
 			nc, err := sim.Run(altered, sink, sim.Options{
-				Workers: p, Policy: core.NabbitCPolicy(), Cost: cfg.Cost,
+				Workers: p, Policy: cfg.policy(core.NabbitCPolicy()), Cost: cfg.Cost,
 			})
 			if err != nil {
 				return nil, err

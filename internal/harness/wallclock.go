@@ -26,6 +26,9 @@ type WallclockConfig struct {
 	Repeats int
 	// Revision stamps the emitted document (e.g. a git short hash).
 	Revision string
+	// Seed, when nonzero, overrides the scheduling seed of every timed
+	// policy (0 keeps each policy's default).
+	Seed uint64
 	// now overrides the clock stamp in tests.
 	now func() time.Time
 }
@@ -52,19 +55,20 @@ func (c WallclockConfig) withDefaults() WallclockConfig {
 // wallclockPolicies are the scheduler variants the runner times, with the
 // synthetic 2-core-socket topology that lets the hierarchical tiers
 // engage on a UMA host.
-func wallclockPolicies(workers int) []struct {
+func wallclockPolicies(workers int, seed uint64) []struct {
 	name string
 	opts core.Options
 } {
+	stamp := func(p core.Policy) core.Policy { return applySeed(p, seed) }
 	return []struct {
 		name string
 		opts core.Options
 	}{
-		{"nabbit", core.Options{Workers: workers, Policy: core.NabbitPolicy()}},
-		{"nabbitc", core.Options{Workers: workers, Policy: core.NabbitCPolicy()}},
+		{"nabbit", core.Options{Workers: workers, Policy: stamp(core.NabbitPolicy())}},
+		{"nabbitc", core.Options{Workers: workers, Policy: stamp(core.NabbitCPolicy())}},
 		{"nabbitc-hier", core.Options{
 			Workers:  workers,
-			Policy:   core.NabbitCHierPolicy(),
+			Policy:   stamp(core.NabbitCHierPolicy()),
 			Topology: numa.Topology{Workers: workers, CoresPerDomain: 2},
 		}},
 	}
@@ -117,7 +121,7 @@ func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
 			"wall_ns_mean": float64(serialMean),
 		})
 
-		for _, pol := range wallclockPolicies(cfg.Workers) {
+		for _, pol := range wallclockPolicies(cfg.Workers, cfg.Seed) {
 			pol := pol
 			min, mean, last, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
 				r, err := suite.BuildReal(name, cfg.Scale)

@@ -10,7 +10,9 @@ import (
 
 // node is the simulator's task state. The simulator is single-threaded, so
 // no atomics are needed; the lifecycle (on-demand creation, join counter,
-// successor lists) mirrors core.Node exactly.
+// successor lists) mirrors core.Node exactly — created mirrors the
+// absent → ready transition of the real engine's lifecycle word (the
+// dense-arena backend preallocates slots that no worker has named yet).
 type node struct {
 	key       core.Key
 	color     int
@@ -21,6 +23,7 @@ type node struct {
 	join      int
 	succs     []*node
 	computed  bool
+	created   bool
 }
 
 type group struct {
@@ -216,10 +219,16 @@ type worker struct {
 }
 
 type engine struct {
-	opts     Options
-	spec     core.CostSpec
-	nodes    map[core.Key]*node
-	workers  []*worker
+	opts    Options
+	spec    core.CostSpec
+	nodes   map[core.Key]*node
+	workers []*worker
+	// arena/arenaIdx are the dense node-table mirror (non-nil when the
+	// run uses the dense backend): a flat slot array laid out home-major
+	// by the same core.HomeMajorIndex the real engine uses, with nodes
+	// replaced by preallocated slots and map presence by node.created.
+	arena    []node
+	arenaIdx []int32
 	sinkKey  core.Key
 	evq      eventHeap
 	done     bool
@@ -242,8 +251,20 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 	e := &engine{
 		opts:    opts,
 		spec:    spec,
-		nodes:   make(map[core.Key]*node),
 		sinkKey: sink,
+	}
+	backend, err := core.ResolveNodeTable(spec, opts.NodeTable)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if backend == core.NodeTableDense {
+		bound := core.KeyBoundOf(spec)
+		e.arena = make([]node, bound)
+		e.arenaIdx = core.HomeMajorIndex(bound, opts.Workers, func(k core.Key) int {
+			return core.HomeOf(spec, k)
+		})
+	} else {
+		e.nodes = make(map[core.Key]*node)
 	}
 	p := opts.Policy
 	e.workers = make([]*worker, opts.Workers)
@@ -312,25 +333,35 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 }
 
 func (e *engine) getOrCreate(k core.Key) (*node, bool) {
-	if n, ok := e.nodes[k]; ok {
-		return n, false
+	var n *node
+	if e.arena != nil {
+		if k < 0 || int64(k) >= int64(len(e.arenaIdx)) {
+			panic(fmt.Sprintf("sim: key %d outside the spec's declared bound %d", k, len(e.arenaIdx)))
+		}
+		n = &e.arena[e.arenaIdx[k]]
+		if n.created {
+			return n, false
+		}
+	} else if m, ok := e.nodes[k]; ok {
+		return m, false
+	} else {
+		n = &node{}
+		e.nodes[k] = n
 	}
 	preds := e.spec.Predecessors(k)
-	n := &node{
-		key:   k,
-		color: e.spec.Color(k),
-		home:  core.HomeOf(e.spec, k),
-		preds: preds,
-		fp:    e.spec.FootprintOf(k),
-		join:  len(preds),
-	}
+	n.key = k
+	n.color = e.spec.Color(k)
+	n.home = core.HomeOf(e.spec, k)
+	n.preds = preds
+	n.fp = e.spec.FootprintOf(k)
+	n.join = len(preds)
+	n.created = true
 	if len(preds) > 0 {
 		n.predHomes = make([]int, len(preds))
 		for i, p := range preds {
 			n.predHomes[i] = core.HomeOf(e.spec, p)
 		}
 	}
-	e.nodes[k] = n
 	e.created++
 	return n, true
 }
