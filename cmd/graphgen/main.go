@@ -3,6 +3,11 @@
 // the PageRank substitutes against the real datasets' published stats.
 //
 //	graphgen -dataset uk-2002 -nv 60000 -blocks 180
+//
+// Exit codes: 0 success, 1 generation failure, 2 usage error. All flags
+// are validated up front (the nabbitbench convention): a bad -nv or
+// -blocks fails in microseconds with a usage error rather than crashing
+// mid-generation or printing NaN statistics.
 package main
 
 import (
@@ -13,11 +18,34 @@ import (
 	"nabbitc/internal/graphs"
 )
 
+// usageError prints the message and exits 2 (flag misuse).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	dataset := flag.String("dataset", "uk-2002", "uk-2002, twitter-2010, or uk-2007-05")
 	nv := flag.Int("nv", 60000, "vertex count")
 	blocks := flag.Int("blocks", 180, "blocks for dependence-density report")
 	flag.Parse()
+
+	// Validate everything before any generation work. A non-positive -nv
+	// used to crash inside the generator and a non-positive -blocks made
+	// InBlocks(0) panic (or the density report divide by zero into NaN).
+	if flag.NArg() > 0 {
+		usageError("unexpected argument %q", flag.Arg(0))
+	}
+	if *nv < 1 {
+		usageError("bad vertex count %d (-nv must be >= 1)", *nv)
+	}
+	if *blocks < 1 {
+		usageError("bad block count %d (-blocks must be >= 1)", *blocks)
+	}
+	if *blocks > *nv {
+		usageError("bad block count %d (-blocks must be <= -nv %d: a block needs at least one vertex)",
+			*blocks, *nv)
+	}
 
 	var cfg graphs.WebConfig
 	switch *dataset {
@@ -28,8 +56,7 @@ func main() {
 	case "uk-2007-05":
 		cfg = graphs.UK2007(*nv)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
-		os.Exit(2)
+		usageError("unknown dataset %q (have uk-2002, twitter-2010, uk-2007-05)", *dataset)
 	}
 
 	g, err := graphs.Generate(cfg)

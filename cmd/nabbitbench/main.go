@@ -18,9 +18,11 @@
 //	                                             # (emits BENCH_<rev>.json)
 //
 // The experiment and bench modes accept -cpuprofile/-memprofile to write
-// pprof profiles of the run alongside its report output, and -seed to
-// override the scheduling seed (checked-in baselines use the default).
-// All flags are validated before any workload runs, including that -out's
+// pprof profiles of the run alongside its report output, -seed to
+// override the scheduling seed (checked-in baselines use the default),
+// and -iterations to size the persistent-engine reuse measurements (the
+// persist experiment / the bench mode's wallclock persist rows). All
+// flags are validated before any workload runs, including that -out's
 // parent directory exists.
 //
 // Exit codes: 0 success, 1 perf regression (compare), 2 usage or schema
@@ -88,6 +90,18 @@ func checkOutPath(path string) error {
 func checkSeed(seed int64) error {
 	if seed < 0 {
 		return fmt.Errorf("bad seed %d (must be >= 0; 0 = policy default)", seed)
+	}
+	return nil
+}
+
+// checkIterations validates an -iterations value (0 = default).
+func checkIterations(iters int) error {
+	if iters < 0 {
+		return fmt.Errorf("bad iteration count %d (must be >= 0; 0 = default)", iters)
+	}
+	const max = 1 << 20
+	if iters > max {
+		return fmt.Errorf("bad iteration count %d (max %d)", iters, max)
 	}
 	return nil
 }
@@ -174,6 +188,8 @@ func runExperiments(args []string) int {
 		fmt.Sprintf("output format: %s (default table)", strings.Join(harness.Formats(), ", ")))
 	csv := fs.Bool("csv", false, "emit CSV (deprecated: use -format csv)")
 	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
+	iterations := fs.Int("iterations", 0,
+		"engine-reuse iterations for the persist experiment (0 = default 4)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
@@ -189,10 +205,13 @@ func runExperiments(args []string) int {
 	if err := checkSeed(*seed); err != nil {
 		return fail(2, "%v", err)
 	}
+	if err := checkIterations(*iterations); err != nil {
+		return fail(2, "%v", err)
+	}
 	if err := checkOutPath(*out); err != nil {
 		return fail(2, "%v", err)
 	}
-	cfg := harness.Config{CSV: *csv, Format: *format, Seed: uint64(*seed)}
+	cfg := harness.Config{CSV: *csv, Format: *format, Seed: uint64(*seed), Iterations: *iterations}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return fail(2, "%v", err)
@@ -314,6 +333,8 @@ func runBench(args []string) int {
 	workers := fs.Int("workers", 0, "host workers (default min(8, NumCPU))")
 	repeats := fs.Int("repeats", 3, "runs per configuration; min wall time is reported")
 	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
+	iterations := fs.Int("iterations", 0,
+		"engine-reuse iterations for the persist rows (0 = default 8, negative disables)")
 	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
 	out := fs.String("out", "", "output file (default BENCH_<rev>.json)")
 	profStart, profFinish := profileFlags(fs)
@@ -327,10 +348,18 @@ func runBench(args []string) int {
 	if err := checkSeed(*seed); err != nil {
 		return fail(2, "%v", err)
 	}
+	if *iterations > 0 {
+		if err := checkIterations(*iterations); err != nil {
+			return fail(2, "%v", err)
+		}
+	}
 	if err := checkOutPath(*out); err != nil {
 		return fail(2, "%v", err)
 	}
-	cfg := harness.WallclockConfig{Workers: *workers, Repeats: *repeats, Revision: *rev, Seed: uint64(*seed)}
+	cfg := harness.WallclockConfig{
+		Workers: *workers, Repeats: *repeats, Revision: *rev,
+		Seed: uint64(*seed), Iterations: *iterations,
+	}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return fail(2, "%v", err)

@@ -3,6 +3,11 @@
 // for inspecting the dependence structures the scheduler sees.
 //
 //	taskviz -bench heat -p 4 | dot -Tsvg > heat.svg
+//
+// Exit codes: 0 success, 1 graph failure (e.g. more nodes than -max),
+// 2 usage error. Flags are validated up front, the nabbitbench
+// convention: a non-positive -p or -max and an unknown benchmark are
+// flag misuse (exit 2), not runtime failures.
 package main
 
 import (
@@ -21,16 +26,34 @@ var palette = []string{
 	"plum", "lightsalmon", "paleturquoise", "lightgray",
 }
 
+// usageError prints the message and exits 2 (flag misuse).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	name := flag.String("bench", "heat", "benchmark to render (small scale)")
 	p := flag.Int("p", 4, "worker count for the coloring")
 	maxNodes := flag.Int("max", 2000, "abort if the graph exceeds this many nodes")
 	flag.Parse()
 
+	// Validate before building anything: -p <= 0 used to flow into the
+	// coloring as a nonsense worker count and -max <= 0 rejected every
+	// graph with a confusing exit 1.
+	if flag.NArg() > 0 {
+		usageError("unexpected argument %q", flag.Arg(0))
+	}
+	if *p < 1 {
+		usageError("bad worker count %d (-p must be >= 1)", *p)
+	}
+	if *maxNodes < 1 {
+		usageError("bad node limit %d (-max must be >= 1)", *maxNodes)
+	}
+
 	b, err := suite.Build(*name, bench.ScaleSmall)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageError("%v", err)
 	}
 	spec, sink := b.Model(*p)
 	order, err := core.TopoOrder(spec, sink, *maxNodes)

@@ -19,40 +19,45 @@ type entry struct {
 	// real builds a fresh wall-clock instance (live data on the host)
 	// for the perf runner.
 	real func(bench.Scale) bench.RealGraph
+	// iterative records whether real's instances implement
+	// bench.IterativeGraph — registry metadata so callers can select the
+	// iterative subset without a throwaway build (TestIterativeFlags pins
+	// the flag against the actual type).
+	iterative bool
 }
 
 // Table I order.
 var registry = []entry{
-	{"cg",
-		func(s bench.Scale) bench.Benchmark { return nas.CGBench(s) },
-		func(s bench.Scale) bench.RealGraph { return nas.CGBench(s).NewReal() }},
-	{"mg",
-		func(s bench.Scale) bench.Benchmark { return nas.MGBench(s) },
-		func(s bench.Scale) bench.RealGraph { return nas.MGBench(s).NewReal() }},
-	{"heat",
-		func(s bench.Scale) bench.Benchmark { return stencil.Heat(s) },
-		func(s bench.Scale) bench.RealGraph { return stencil.Heat(s).NewReal() }},
-	{"fdtd",
-		func(s bench.Scale) bench.Benchmark { return stencil.FDTD(s) },
-		func(s bench.Scale) bench.RealGraph { return stencil.FDTD(s).NewReal() }},
-	{"life",
-		func(s bench.Scale) bench.Benchmark { return stencil.Life(s) },
-		func(s bench.Scale) bench.RealGraph { return stencil.Life(s).NewReal() }},
-	{"page-uk-2002",
-		func(s bench.Scale) bench.Benchmark { return pagerank.UK2002(s) },
-		func(s bench.Scale) bench.RealGraph { return pagerank.UK2002(s).NewReal() }},
-	{"page-twitter-2010",
-		func(s bench.Scale) bench.Benchmark { return pagerank.Twitter2010(s) },
-		func(s bench.Scale) bench.RealGraph { return pagerank.Twitter2010(s).NewReal() }},
-	{"page-uk-2007-05",
-		func(s bench.Scale) bench.Benchmark { return pagerank.UK2007(s) },
-		func(s bench.Scale) bench.RealGraph { return pagerank.UK2007(s).NewReal() }},
-	{"sw",
-		func(s bench.Scale) bench.Benchmark { return sw.N3(s) },
-		func(s bench.Scale) bench.RealGraph { return sw.N3(s).NewReal() }},
-	{"swn2",
-		func(s bench.Scale) bench.Benchmark { return sw.N2(s) },
-		func(s bench.Scale) bench.RealGraph { return sw.N2(s).NewReal() }},
+	{name: "cg",
+		build: func(s bench.Scale) bench.Benchmark { return nas.CGBench(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return nas.CGBench(s).NewReal() }},
+	{name: "mg",
+		build: func(s bench.Scale) bench.Benchmark { return nas.MGBench(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return nas.MGBench(s).NewReal() }},
+	{name: "heat", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return stencil.Heat(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return stencil.Heat(s).NewReal() }},
+	{name: "fdtd", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return stencil.FDTD(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return stencil.FDTD(s).NewReal() }},
+	{name: "life", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return stencil.Life(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return stencil.Life(s).NewReal() }},
+	{name: "page-uk-2002", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return pagerank.UK2002(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return pagerank.UK2002(s).NewReal() }},
+	{name: "page-twitter-2010", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return pagerank.Twitter2010(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return pagerank.Twitter2010(s).NewReal() }},
+	{name: "page-uk-2007-05", iterative: true,
+		build: func(s bench.Scale) bench.Benchmark { return pagerank.UK2007(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return pagerank.UK2007(s).NewReal() }},
+	{name: "sw",
+		build: func(s bench.Scale) bench.Benchmark { return sw.N3(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return sw.N3(s).NewReal() }},
+	{name: "swn2",
+		build: func(s bench.Scale) bench.Benchmark { return sw.N2(s) },
+		real:  func(s bench.Scale) bench.RealGraph { return sw.N2(s).NewReal() }},
 }
 
 // Names returns the benchmark names in Table I order.
@@ -83,6 +88,18 @@ func BuildReal(name string, s bench.Scale) (bench.RealGraph, error) {
 		}
 	}
 	return nil, fmt.Errorf("suite: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Iterative reports whether the named benchmark's wall-clock instances
+// implement bench.IterativeGraph (the single-iteration formulation for
+// persistent-engine reuse). Unknown names report false.
+func Iterative(name string) bool {
+	for _, e := range registry {
+		if e.name == name {
+			return e.iterative
+		}
+	}
+	return false
 }
 
 // BuildAll constructs the whole suite at the given scale.

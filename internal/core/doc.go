@@ -14,8 +14,56 @@
 // preserving Nabbit's asymptotic completion-time guarantees.
 //
 // The same graph state is driven by two engines: the real parallel engine
-// in this package (Run), and the deterministic virtual-time machine in
-// package sim used to reproduce the paper's 80-core experiments.
+// in this package (Engine / Run), and the deterministic virtual-time
+// machine in package sim used to reproduce the paper's 80-core
+// experiments.
+//
+// # Design note: the persistent engine lifecycle
+//
+// The real engine is a long-lived object: NewEngine builds the worker
+// pool (one goroutine per worker), the per-worker deques, and the node
+// table once; Execute runs one task graph to completion; Close releases
+// the workers. Run is the single-use composition of the three. Iterative
+// workloads — PageRank power iterations, stencil time stepping — hold one
+// Engine and Execute once per outer iteration, so every per-run
+// construction cost (goroutine spawn, deque buffers, the preallocated
+// node arena) is paid once and amortized.
+//
+// Between runs the node table must forget the previous graph. The dense
+// arena does this in O(1): the node state word reserves bits 2..30 for an
+// epoch stamp, every lifecycle transition preserves the stamp, and reset
+// just bumps the arena's current epoch — a slot stamped with any other
+// epoch reads as absent, so there is no per-slot clearing loop (the
+// 29-bit stamp wraps once per 2^29 resets, at which point slots are
+// cleared the slow way once). The sharded map clears its shards in place,
+// keeping their buckets warm. Successor-list backing arrays survive runs
+// the same way: markComputed truncates instead of dropping them, so
+// steady-state Execute calls allocate only run bookkeeping (single-digit
+// allocations), never per-node storage.
+//
+// # Design note: the parking protocol
+//
+// Idle workers do not spin indefinitely. Each worker carries a notify
+// slot: an atomic parkState flag plus a one-token channel. A worker that
+// completes spinBeforePark unsuccessful probe sweeps — or that idles
+// between runs — parks: it announces parkState, re-checks its wake
+// condition (run done / any deque non-empty / new run generation), and
+// only then blocks on the channel. A waker CASes parkState parked→running
+// and, on winning, sends exactly one token; losing the CAS means someone
+// else owns the wake. Announce-then-recheck on one side and
+// publish-then-scan on the other make the classic Dekker argument: a
+// producer either observes the parked announcement (and delivers a
+// token) or published its work before the recheck (and the park is
+// abandoned) — no lost wakeups, which the race-stress test pins.
+//
+// Wake sources: every deque PushBottom fires a hook that wakes one parked
+// worker when any are parked (one atomic load otherwise); computing the
+// sink and Close wake everyone; Execute wakes everyone to start a run.
+// The end-of-run park doubles as Execute's quiescence barrier — Execute
+// returns only when every worker is parked again, which is also what
+// makes resetting tables, stats, and RNGs between runs race-free without
+// any locking on the hot paths. Parks, Wakes, and SpinRounds are reported
+// per worker in WorkerStats.
 //
 // # Design note: the node lifecycle word
 //

@@ -12,17 +12,54 @@ import (
 	"nabbitc/internal/xrand"
 )
 
-// engine is one run of the real parallel scheduler: P worker goroutines,
-// each with a work-stealing deque of morphing-continuation items, driving
-// the on-demand task graph rooted at the sink key.
-type engine struct {
+// Engine is a persistent instance of the real parallel scheduler: P worker
+// goroutines, each with a work-stealing deque of morphing-continuation
+// items, plus the node table for the spec's task graph. The engine is
+// built once (NewEngine) and executes any number of task graphs
+// (Execute), reusing the worker pool, the deques, and the node table
+// across runs — the iterative-workload shape (PageRank power iterations,
+// stencil time stepping) where per-run construction cost would otherwise
+// dominate. Between and within runs, idle workers park on a per-worker
+// notify slot instead of spinning (see doc.go's parking design note).
+//
+// Execute and Close serialize against each other; an Engine must not be
+// shared by concurrent Execute calls. Close releases the worker
+// goroutines — every NewEngine must be paired with a Close.
+type Engine struct {
 	spec    Spec
 	opts    Options
 	nt      nodeTable
+	backend string
 	workers []*worker
+
+	// sinkKey/done/start are the current run's state, written by Execute
+	// before it wakes the workers (the wake tokens carry the
+	// happens-before edge) and by the worker that computes the sink.
 	sinkKey Key
 	done    atomic.Bool
 	start   time.Time
+
+	// parked counts currently-parked workers; the deque push hook reads
+	// it to skip the wake scan entirely when nobody is asleep.
+	parked atomic.Int32
+	// gen is the run generation, bumped by Execute before waking the
+	// workers. A worker woken from its between-runs park distinguishes a
+	// genuine run start (gen advanced) from a stale token left by a
+	// straggling in-run waker (gen unchanged — park again).
+	gen atomic.Uint64
+	// closeFlag tells woken workers to exit instead of starting a run.
+	closeFlag atomic.Bool
+
+	mu     sync.Mutex // serializes Execute and Close
+	closed bool       // guarded by mu
+
+	// startWG releases NewEngine once every worker has announced its
+	// initial park (so the first Execute's wake tokens cannot be lost);
+	// runWG is the per-run quiescence barrier (workers arrive at their
+	// between-runs park); exitWG tracks worker goroutine exit for Close.
+	startWG sync.WaitGroup
+	runWG   sync.WaitGroup
+	exitWG  sync.WaitGroup
 }
 
 // ResolveNodeTable resolves the requested backend against the spec's
@@ -88,10 +125,17 @@ func dequeCapacity(bound, workers int) int {
 	return c
 }
 
+// spinBeforePark is the bounded-spin budget: consecutive unsuccessful
+// full probe sweeps before an idle worker gives up spinning and parks on
+// its notify slot. Large enough that momentary troughs in stealable work
+// stay in the cheap spin regime, small enough that a genuinely idle
+// worker burns microseconds — not wall-clock — before sleeping.
+const spinBeforePark = 64
+
 type worker struct {
 	id    int // == color
 	color int
-	e     *engine
+	e     *Engine
 	dq    deque.Queue[item]
 	rng   *xrand.Rand
 	stats WorkerStats
@@ -104,7 +148,7 @@ type worker struct {
 	socketHi   int
 	socketMask colorset.Set
 
-	// grp and ready are owner-only scratch reused across the run so the
+	// grp and ready are owner-only scratch reused across runs so the
 	// spawn/notify hot paths allocate only what escapes into deque items.
 	grp   grouper
 	ready []*Node
@@ -116,14 +160,29 @@ type worker struct {
 
 	firstStealPending bool
 	startedWork       bool
+
+	// spins counts consecutive unsuccessful probe sweeps since the last
+	// acquired work or park; at spinBeforePark the worker parks.
+	spins int
+	// lastGrows remembers the deque's cumulative growth count at the end
+	// of the previous run, so per-run DequeGrows stays a delta.
+	lastGrows int64
+
+	// parkState (0 running, 1 parked) plus the one-token parkCh form the
+	// notify slot. A waker that CASes parkState 1→0 owns the wake and
+	// sends exactly one token; the parked worker consumes exactly one
+	// token per announced park, so tokens can never accumulate.
+	parkState atomic.Int32
+	parkCh    chan struct{}
+	// lastGen is the run generation this worker last participated in.
+	lastGen uint64
 }
 
-// Run executes the task graph whose completion is marked by the sink task,
-// creating nodes on demand from the sink's (transitive) predecessors, and
-// returns scheduling statistics. Every task reachable from the sink is
-// computed exactly once, and a task computes only after all its
-// predecessors. The graph must be acyclic (see CheckDAG).
-func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
+// NewEngine builds a persistent engine for the spec: the worker pool, the
+// per-worker deques, and the node table, all reused by every subsequent
+// Execute. The workers are started immediately and park until the first
+// Execute. Callers must Close the engine to release them.
+func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -132,11 +191,11 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{
+	e := &Engine{
 		spec:    spec,
 		opts:    opts,
 		nt:      nt,
-		sinkKey: sink,
+		backend: backend,
 	}
 	p := opts.Policy
 	dqCap := dequeCapacity(KeyBoundOf(spec), opts.Workers)
@@ -148,38 +207,79 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 		} else {
 			dq = deque.NewMutex[item](dqCap)
 		}
+		dq.SetWake(e.noteWork)
 		lo, hi := opts.Topology.SocketWorkers(i)
 		mask := colorset.New(opts.Workers)
 		for c := lo; c < hi; c++ {
 			mask.Add(c)
 		}
 		e.workers[i] = &worker{
-			id:                i,
-			color:             i,
-			e:                 e,
-			dq:                dq,
-			rng:               xrand.NewWorker(p.Seed, i),
-			socketLo:          lo,
-			socketHi:          hi,
-			socketMask:        mask,
-			grp:               newGrouper(opts.Workers),
-			firstStealPending: p.Colored && p.ForceFirstColoredSteal,
+			id:         i,
+			color:      i,
+			e:          e,
+			dq:         dq,
+			rng:        xrand.NewWorker(p.Seed, i),
+			socketLo:   lo,
+			socketHi:   hi,
+			socketMask: mask,
+			grp:        newGrouper(opts.Workers),
+			parkCh:     make(chan struct{}, 1),
 		}
 	}
-	// Worker 0 starts with the root work, so its first acquisition is
-	// not a steal.
-	e.workers[0].firstStealPending = false
-
-	e.start = time.Now()
-	var wg sync.WaitGroup
+	// NewEngine returns only after every worker has announced its initial
+	// park: the first Execute's wake CAS would fail against a worker that
+	// had not yet registered, stranding it asleep.
+	e.startWG.Add(opts.Workers)
+	e.exitWG.Add(opts.Workers)
 	for _, w := range e.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.loop(w.id == 0)
-		}(w)
+		go w.main()
 	}
-	wg.Wait()
+	e.startWG.Wait()
+	return e, nil
+}
+
+// Execute runs the task graph whose completion is marked by the sink task,
+// creating nodes on demand from the sink's (transitive) predecessors, and
+// returns scheduling statistics for this run. Every task reachable from
+// the sink is computed exactly once, and a task computes only after all
+// its predecessors. The graph must be acyclic (see CheckDAG).
+//
+// Repeated calls reuse the engine's workers, deques, and node table: the
+// dense arena retires the previous run's nodes by bumping an epoch stamp
+// (no reallocation, no per-slot clearing), the sharded map by clearing its
+// shards in place. Specs may mutate state between calls (e.g. advance an
+// iteration counter); the engine guarantees no worker touches spec or
+// graph state across the call boundary.
+func (e *Engine) Execute(sink Key) (*Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: Execute on a closed engine")
+	}
+
+	// All workers are parked between runs here (NewEngine and the
+	// previous Execute both end at that barrier), so every per-run field
+	// can be reset without synchronization; the wake tokens below publish
+	// the writes.
+	e.nt.reset()
+	pol := e.opts.Policy
+	for i, w := range e.workers {
+		w.stats = WorkerStats{}
+		w.startedWork = false
+		w.idleSince = time.Time{}
+		w.spins = 0
+		w.rng.SeedWorker(pol.Seed, i)
+		// Worker 0 starts with the root work, so its first acquisition is
+		// not a steal.
+		w.firstStealPending = pol.Colored && pol.ForceFirstColoredSteal && i != 0
+	}
+	e.sinkKey = sink
+	e.done.Store(false)
+	e.start = time.Now()
+	e.runWG.Add(len(e.workers))
+	e.gen.Add(1)
+	e.wakeAll()
+	e.runWG.Wait()
 	elapsed := time.Since(e.start)
 
 	sinkNode, ok := e.nt.get(sink)
@@ -191,17 +291,46 @@ func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
 		Workers:      make([]WorkerStats, len(e.workers)),
 		Elapsed:      elapsed,
 		NodesCreated: e.nt.count(),
-		NodeBackend:  backend,
-		Topology:     opts.Topology,
+		NodeBackend:  e.backend,
+		Topology:     e.opts.Topology,
 	}
 	for i, w := range e.workers {
 		if !w.startedWork {
 			w.stats.TimeToFirstWork = elapsed
 		}
-		w.stats.DequeGrows = w.dq.Grows()
+		g := w.dq.Grows()
+		w.stats.DequeGrows = g - w.lastGrows
+		w.lastGrows = g
 		st.Workers[i] = w.stats
 	}
 	return st, nil
+}
+
+// Close wakes and releases the worker goroutines. It is idempotent and
+// returns only after every worker has exited; Execute after Close errors.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.closeFlag.Store(true)
+	e.wakeAll()
+	e.exitWG.Wait()
+	return nil
+}
+
+// Run executes the task graph under a single-use engine: one NewEngine,
+// one Execute, one Close. Iterative workloads that execute many graphs
+// should hold an Engine instead and amortize the construction.
+func Run(spec Spec, sink Key, opts Options) (*Stats, error) {
+	e, err := NewEngine(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Execute(sink)
 }
 
 // RunNabbit runs the graph under plain Nabbit (random stealing).
@@ -214,11 +343,146 @@ func RunNabbitC(spec Spec, sink Key, workers int) (*Stats, error) {
 	return Run(spec, sink, Options{Workers: workers, Policy: NabbitCPolicy()})
 }
 
-func (w *worker) loop(seedRoot bool) {
-	if w.e.opts.PinWorkers {
+// anyWork reports whether any worker's deque holds a stealable item. Used
+// only as a park-abandon check, so the O(P) scan is off every hot path.
+func (e *Engine) anyWork() bool {
+	for _, w := range e.workers {
+		if w.dq.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// noteWork is the deque push hook: some worker just published a stealable
+// item; wake one parked worker to go steal it. The common case (nobody
+// parked) is a single atomic load.
+func (e *Engine) noteWork() {
+	if e.parked.Load() != 0 {
+		e.wakeOne()
+	}
+}
+
+func (e *Engine) wakeOne() {
+	for _, w := range e.workers {
+		if w.wake() {
+			return
+		}
+	}
+}
+
+func (e *Engine) wakeAll() {
+	for _, w := range e.workers {
+		w.wake()
+	}
+}
+
+// wake delivers one token to the worker if it is parked. Winning the CAS
+// makes this caller the park's sole waker, so the one-slot channel send
+// can never block.
+func (w *worker) wake() bool {
+	if w.parkState.CompareAndSwap(1, 0) {
+		w.parkCh <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// park puts the worker to sleep on its notify slot until a wake token
+// arrives. The protocol is announce → recheck → block: cancel is
+// evaluated only after the parked announcement is visible, so a producer
+// either sees the announcement (and delivers a token) or published its
+// work before the recheck (and cancel abandons the park) — no lost
+// wakeups. If a waker wins the race against a cancelling parker, the
+// parker consumes the in-flight token anyway so it cannot leak into a
+// later park.
+//
+// onQuiesce, when non-nil, runs after the announcement and the park
+// accounting: it is the engine's run-boundary barrier hook (runWG.Done /
+// startWG.Done), and nothing in this worker's stats is written between
+// the hook and the next wake — that is what lets Execute read the stats
+// of a worker blocked here. countParks/countWakes gate the stats
+// accounting: a between-runs park records its Parks before the quiescence
+// signal but must not record Wakes inside park (a stale straggler token
+// could deliver the wake while Execute is still reading stats — the
+// caller records it once a genuine run start is confirmed), and
+// awaitNextRun's stale-token re-parks record nothing at all.
+func (w *worker) park(cancel func() bool, onQuiesce func(), countParks, countWakes bool) {
+	e := w.e
+	w.parkState.Store(1)
+	e.parked.Add(1)
+	if cancel != nil && cancel() {
+		if w.parkState.CompareAndSwap(1, 0) {
+			e.parked.Add(-1)
+			if onQuiesce != nil {
+				onQuiesce()
+			}
+			return
+		}
+		// Lost to a concurrent waker: its token is in flight. Fall
+		// through and consume it.
+	}
+	if countParks {
+		w.stats.Parks++
+	}
+	if onQuiesce != nil {
+		onQuiesce()
+	}
+	<-w.parkCh
+	if countWakes {
+		w.stats.Wakes++
+	}
+	e.parked.Add(-1)
+}
+
+// awaitNextRun is the between-runs park: block until Execute advances the
+// run generation (return true) or Close raises the close flag (return
+// false). Stale tokens from stragglers of the finished run — a worker
+// draining its last item can still push, and pushes wake — just re-park.
+// onQuiesce is passed through to the first park only: one quiescence
+// signal per run boundary.
+func (w *worker) awaitNextRun(onQuiesce func()) bool {
+	e := w.e
+	cancel := func() bool {
+		return e.closeFlag.Load() || e.gen.Load() != w.lastGen
+	}
+	count := true
+	for {
+		w.park(cancel, onQuiesce, count, false)
+		onQuiesce, count = nil, false
+		if e.closeFlag.Load() {
+			return false
+		}
+		if g := e.gen.Load(); g != w.lastGen {
+			w.lastGen = g
+			// A genuine start: Execute has reset this worker's stats and
+			// is blocked on the run barrier, so the write is race-free.
+			w.stats.Wakes++
+			return true
+		}
+	}
+}
+
+// main is the persistent worker goroutine: park between runs, execute
+// each run to completion, exit on close.
+func (w *worker) main() {
+	e := w.e
+	defer e.exitWG.Done()
+	if e.opts.PinWorkers {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
+	quiesce := e.startWG.Done
+	for {
+		if !w.awaitNextRun(quiesce) {
+			return
+		}
+		quiesce = e.runWG.Done
+		w.runLoop(w.id == 0)
+	}
+}
+
+func (w *worker) runLoop(seedRoot bool) {
 	if seedRoot {
 		w.markStarted()
 		n, created := w.e.nt.getOrCreate(w.e.sinkKey)
@@ -246,6 +510,7 @@ func (w *worker) markStarted() {
 }
 
 func (w *worker) exec(it item) {
+	w.spins = 0
 	w.markStarted()
 	w.runItem(it)
 }
@@ -388,6 +653,8 @@ func (w *worker) computeAndNotify(n *Node) {
 	w.ready = ready
 	if n.key == w.e.sinkKey {
 		w.e.done.Store(true)
+		// Parked workers cannot observe the flag on their own.
+		w.e.wakeAll()
 	}
 	switch len(ready) {
 	case 0:
@@ -469,6 +736,22 @@ func (w *worker) noteProbeFailed() {
 	}
 }
 
+// idleSweep ends one fully unsuccessful probe sweep: spin (Gosched) while
+// under the bounded-spin budget, then park until new work is pushed or
+// the run ends. The park re-checks done and every deque after announcing
+// itself, so a push racing the park is never lost (see park).
+func (w *worker) idleSweep() {
+	w.stats.SpinRounds++
+	w.spins++
+	if w.spins < spinBeforePark {
+		runtime.Gosched()
+		return
+	}
+	w.spins = 0
+	e := w.e
+	w.park(func() bool { return e.done.Load() || e.anyWork() }, nil, true, true)
+}
+
 // findWork implements the stealing policy: while enforcing the first
 // colored steal, only colored attempts count (bounded by
 // FirstStealMaxRounds sweeps); afterwards, the flat protocol makes
@@ -478,7 +761,8 @@ func (w *worker) noteProbeFailed() {
 //
 // Idle time accrues from the first failed probe to the return — the
 // all-hits fast path performs zero clock reads (cheap idle accounting;
-// previously every call paid two time.Now calls plus a defer).
+// previously every call paid two time.Now calls plus a defer). Time spent
+// parked counts as idle.
 func (w *worker) findWork() (item, bool) {
 	it, ok := w.hunt()
 	if !w.idleSince.IsZero() {
@@ -494,7 +778,12 @@ func (w *worker) hunt() (item, bool) {
 	p := e.opts.Policy
 	nw := len(e.workers)
 	if nw == 1 {
-		runtime.Gosched()
+		// A lone worker has no victims, and nothing outside this
+		// goroutine can create work mid-run: an empty deque here means
+		// the run is (about to be) done. Park instead of the historical
+		// 100%-CPU Gosched ping-pong; done/close wake us.
+		w.noteProbeFailed()
+		w.park(func() bool { return e.done.Load() }, nil, true, true)
 		return item{}, false
 	}
 
@@ -519,7 +808,7 @@ func (w *worker) hunt() (item, bool) {
 				w.firstStealPending = false
 				break
 			}
-			runtime.Gosched()
+			w.idleSweep()
 		}
 		if e.done.Load() {
 			return item{}, false
@@ -554,7 +843,7 @@ func (w *worker) hunt() (item, bool) {
 			return ent.Value, true
 		}
 		w.noteProbeFailed()
-		runtime.Gosched()
+		w.idleSweep()
 	}
 	return item{}, false
 }
@@ -663,7 +952,7 @@ func (w *worker) huntHier() (item, bool) {
 			}
 		}
 		w.noteProbeFailed()
-		runtime.Gosched()
+		w.idleSweep()
 	}
 	return item{}, false
 }

@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// BenchmarkExecuteReuse measures repeated Execute on one persistent
+// engine (dense backend): the iterative-workload steady state. CI's
+// bench-smoke job hard-gates its allocs/op at a small constant — an
+// Execute that rebuilt the node arena, the deques, or the worker pool
+// would cost at least one allocation per node (512 here) and trip the
+// gate instantly. A single worker keeps the run deterministic, so the
+// number is stable enough to gate tightly.
+func BenchmarkExecuteReuse(b *testing.B) {
+	const n = 512
+	spec := flatFanInSpec(n, 1, nil)
+	e, err := NewEngine(spec, Options{Workers: 1, Policy: NabbitCPolicy()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	// Warm up past first-run effects (deque steady state, scratch sizing).
+	for r := 0; r < 2; r++ {
+		if _, err := e.Execute(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := e.Execute(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.NodeBackend != "dense" {
+			b.Fatalf("backend %q, want dense", st.NodeBackend)
+		}
+	}
+}
+
+// BenchmarkRunFresh is the contrast row: the same graph through the
+// single-use Run wrapper, paying engine construction (goroutines, deques,
+// arena) every iteration.
+func BenchmarkRunFresh(b *testing.B) {
+	const n = 512
+	spec := flatFanInSpec(n, 1, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, n, Options{Workers: 1, Policy: NabbitCPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,9 +8,9 @@ import (
 	"unsafe"
 )
 
-// Node lifecycle phases, held in the low bits of Node.state (see doc.go
-// for the full state machine). The phase is monotonic: absent →
-// initializing → ready → computed.
+// Node lifecycle phases, held in the low two bits of Node.state (see
+// doc.go for the full state machine). The phase is monotonic within a run:
+// absent → initializing → ready → computed.
 const (
 	nodeAbsent   uint32 = iota // arena slot exists, node not yet created
 	nodeIniting                // creator won the claim and is filling fields
@@ -18,16 +18,34 @@ const (
 	nodeComputed               // Compute finished; successor list drained
 )
 
-// succLockBit is the successor-list claim bit in Node.state: a short
-// CAS-acquired spin lock guarding succs, orthogonal to the phase bits. It
-// is only ever held across a bounded handful of instructions (one append,
-// or one slice swap), so spinning is cheaper than a sync.Mutex — and
-// folding it into the lifecycle word lets markComputed publish "computed,
-// unlocked, drained" in a single atomic store.
-const succLockBit uint32 = 1 << 31
+// The state word carves a uint32 into three fields:
+//
+//	bit  31     succLockBit — successor-list claim bit
+//	bits 2..30  epoch stamp — which Engine.Execute the slot belongs to
+//	bits 0..1   lifecycle phase
+//
+// succLockBit is a short CAS-acquired spin lock guarding succs, orthogonal
+// to the phase bits. It is only ever held across a bounded handful of
+// instructions (one append, or one slice swap), so spinning is cheaper
+// than a sync.Mutex — and folding it into the lifecycle word lets
+// markComputed publish "computed, unlocked, drained" in a single atomic
+// store.
+//
+// The epoch stamp is how the dense arena resets between Execute calls
+// without touching every slot: the arena bumps its current epoch, and any
+// slot whose stamp differs reads as absent (see nodeArena.reset). Within a
+// run every lifecycle transition preserves the stamp, so markComputed and
+// addSuccessor never need to know the current epoch. Map-backed nodes are
+// freshly allocated per run and keep stamp 0 forever.
+const (
+	phaseMask   uint32 = 0b11
+	succLockBit uint32 = 1 << 31
+	epochMask   uint32 = ^(phaseMask | succLockBit)
+	epochUnit   uint32 = 1 << 2 // one epoch increment, pre-shifted
+)
 
-// nodePhase strips the claim bit off a state-word value.
-func nodePhase(v uint32) uint32 { return v &^ succLockBit }
+// nodePhase extracts the lifecycle phase from a state-word value.
+func nodePhase(v uint32) uint32 { return v & phaseMask }
 
 // Node is the runtime state of one task. Nodes are created on demand the
 // first time any worker names their key, and live until the run ends.
@@ -98,7 +116,7 @@ func (n *Node) lockSuccs() uint32 {
 // predecessor itself.
 func (n *Node) addSuccessor(s *Node) bool {
 	v := n.lockSuccs()
-	if v == nodeComputed {
+	if nodePhase(v) == nodeComputed {
 		n.state.Store(v)
 		return false
 	}
@@ -113,10 +131,18 @@ func (n *Node) addSuccessor(s *Node) bool {
 // refuses new entries from that instant on and every successor is notified
 // exactly once.
 func (n *Node) markComputed() []*Node {
-	n.lockSuccs()
+	v := n.lockSuccs()
 	succs := n.succs
-	n.succs = nil
-	n.state.Store(nodeComputed)
+	// Truncate rather than nil: the backing array is dead for the rest of
+	// this run (addSuccessor refuses once computed) but a reused arena
+	// slot appends into it again next epoch, so keeping it makes repeated
+	// Execute calls allocation-free on the notify path. The caller
+	// finishes iterating the returned slice within this run, strictly
+	// before any next-epoch append can touch the backing.
+	n.succs = succs[:0]
+	// Preserve the epoch stamp: the arena's reset relies on every slot a
+	// run touched carrying that run's epoch.
+	n.state.Store(v&epochMask | nodeComputed)
 	return succs
 }
 
@@ -148,6 +174,10 @@ type nodeTable interface {
 	get(k Key) (*Node, bool)
 	// count returns the number of created nodes.
 	count() int
+	// reset forgets every created node so the table can serve a fresh
+	// run. Callers must guarantee quiescence: no worker touches the table
+	// (or any node it handed out) across a reset.
+	reset()
 }
 
 // nodeShardCount is a power of two sized to keep per-shard contention low
@@ -231,6 +261,18 @@ func (nm *nodeMap) get(k Key) (*Node, bool) {
 	return n, ok
 }
 
+// reset drops every node. clear() keeps each map's buckets allocated, so
+// a reused engine's later runs insert into warm tables instead of
+// re-growing them from scratch.
+func (nm *nodeMap) reset() {
+	for i := range nm.shards {
+		sh := &nm.shards[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
+}
+
 func (nm *nodeMap) count() int {
 	total := 0
 	for i := range nm.shards {
@@ -297,6 +339,13 @@ type nodeArena struct {
 	index   []int32 // key -> slot in nodes
 	nodes   []Node
 	created atomic.Int64
+	// epoch is the current run's stamp, pre-shifted into state-word
+	// position (a multiple of epochUnit). A slot whose stamped epoch
+	// differs reads as absent; reset bumps it instead of clearing slots.
+	// Written only between runs (all workers quiescent), read by all
+	// workers during a run — the Engine's park/wake handshake provides the
+	// happens-before edge.
+	epoch uint32
 }
 
 func newNodeArena(spec Spec, bound, workers int) *nodeArena {
@@ -339,26 +388,42 @@ func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
 		panic(fmt.Sprintf("core: key %d outside the spec's declared bound %d", k, len(a.index)))
 	}
 	n := &a.nodes[a.index[k]]
-	if nodePhase(n.state.Load()) >= nodeReady {
+	cur := a.epoch
+	v := n.state.Load()
+	if v&epochMask == cur && nodePhase(v) >= nodeReady {
 		return n, false
 	}
-	if n.state.CompareAndSwap(nodeAbsent, nodeIniting) {
-		n.preds = a.spec.Predecessors(k)
-		n.join.Store(int32(len(n.preds)))
-		a.created.Add(1)
-		n.state.Store(nodeReady)
-		return n, true
+	// Absent this epoch: an absent phase (the zero word of a fresh or
+	// wrap-cleared arena) or a stale stamp left by a previous Execute.
+	// Claim it by CAS from the exact observed word; any concurrent
+	// claimant observed the same word, so exactly one wins.
+	for v&epochMask != cur || nodePhase(v) == nodeAbsent {
+		if n.state.CompareAndSwap(v, cur|nodeIniting) {
+			n.preds = a.spec.Predecessors(k)
+			n.join.Store(int32(len(n.preds)))
+			// Defensive: markComputed leaves retired slots truncated, but
+			// a node the previous run somehow never computed must not
+			// leak successors into this epoch.
+			n.succs = n.succs[:0]
+			a.created.Add(1)
+			n.state.Store(cur | nodeReady)
+			return n, true
+		}
+		v = n.state.Load()
 	}
 	// Lost the creation race: the winner is inside the (cheap, by spec
 	// contract) Predecessors call. Spin until the ready store publishes
 	// the fields; the atomic load pairs with it, so everything the winner
 	// wrote is visible here.
-	for spins := 0; nodePhase(n.state.Load()) < nodeReady; spins++ {
+	for spins := 0; ; spins++ {
+		v = n.state.Load()
+		if v&epochMask == cur && nodePhase(v) >= nodeReady {
+			return n, false
+		}
 		if spins > 64 {
 			runtime.Gosched()
 		}
 	}
-	return n, false
 }
 
 func (a *nodeArena) get(k Key) (*Node, bool) {
@@ -366,13 +431,29 @@ func (a *nodeArena) get(k Key) (*Node, bool) {
 		return nil, false
 	}
 	n := &a.nodes[a.index[k]]
-	if nodePhase(n.state.Load()) < nodeReady {
+	v := n.state.Load()
+	if v&epochMask != a.epoch || nodePhase(v) < nodeReady {
 		return nil, false
 	}
 	return n, true
 }
 
 func (a *nodeArena) count() int { return int(a.created.Load()) }
+
+// reset retires every node by bumping the arena's epoch — O(1), no slot
+// clearing, no allocation. The 29-bit stamp wraps once per 2^29 resets; on
+// wrap the (then-ambiguous) slot words are cleared the slow way, so a
+// stamp can never alias a run half a billion executes old.
+func (a *nodeArena) reset() {
+	e := (a.epoch + epochUnit) & epochMask
+	if e == 0 {
+		for i := range a.nodes {
+			a.nodes[i].state.Store(0)
+		}
+	}
+	a.epoch = e
+	a.created.Store(0)
+}
 
 // NodeStore is an exported handle to a node table outside any engine run
 // — the hook the harness's deterministic alloc ablation and external

@@ -54,6 +54,19 @@ type WorkerStats struct {
 	// IdleTime is total wall-clock time spent looking for work.
 	IdleTime time.Duration
 
+	// SpinRounds counts completed unsuccessful probe sweeps: one per pass
+	// through the stealing policy's full tier/victim sequence that found
+	// nothing. Bounded spinning turns into a park, so on an idle engine
+	// this stays small instead of growing with wall time.
+	SpinRounds int64
+	// Parks counts how many times this worker went to sleep on its notify
+	// slot — after exhausting its spin budget mid-run, and once at the end
+	// of every run while awaiting the next Execute.
+	Parks int64
+	// Wakes counts how many times a parked sleep was ended by a notify
+	// (work pushed, run completion, engine close, or a new Execute).
+	Wakes int64
+
 	// DequeGrows counts buffer growths of this worker's deque during the
 	// run. With a spec-declared key bound the initial capacity is sized
 	// to cover the run, so this should stay zero (pinned by the root
@@ -81,6 +94,33 @@ func (s *Stats) DequeGrows() int64 {
 	var n int64
 	for i := range s.Workers {
 		n += s.Workers[i].DequeGrows
+	}
+	return n
+}
+
+// Parks returns total worker parks (see WorkerStats.Parks).
+func (s *Stats) Parks() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].Parks
+	}
+	return n
+}
+
+// Wakes returns total parked-sleep wakeups.
+func (s *Stats) Wakes() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].Wakes
+	}
+	return n
+}
+
+// SpinRounds returns total unsuccessful probe sweeps across all workers.
+func (s *Stats) SpinRounds() int64 {
+	var n int64
+	for i := range s.Workers {
+		n += s.Workers[i].SpinRounds
 	}
 	return n
 }
@@ -216,6 +256,9 @@ func (s *Stats) Metrics() map[string]float64 {
 		"steal_attempts":    float64(s.StealAttempts()),
 		"socket_steal_pct":  s.SocketStealPercent(),
 		"avg_batch":         s.AvgBatchSize(),
+		"parks":             float64(s.Parks()),
+		"wakes":             float64(s.Wakes()),
+		"spin_rounds":       float64(s.SpinRounds()),
 	}
 	at, ts := s.TierAttempts(), s.TierSteals()
 	for t := StealTier(0); t < NumStealTiers; t++ {

@@ -63,6 +63,9 @@ type ChaseLev[T any] struct {
 	// detector sees the post-run read from another goroutine, so it is
 	// stored atomically anyway (off the hot path: only on grow).
 	grows atomic.Int64
+	// wake is the post-push hook, set once before concurrent use and
+	// called only by the owner (inside PushBottom): no atomicity needed.
+	wake func()
 }
 
 // clSlot is one buffer cell. readers counts thieves between claim recheck
@@ -171,7 +174,14 @@ func (d *ChaseLev[T]) PushBottom(e Entry[T]) {
 	s.val = e
 	s.setColors(e.Colors)
 	d.bottom.Store(b + 1)
+	// After the bottom bump: the item is already stealable.
+	if d.wake != nil {
+		d.wake()
+	}
 }
+
+// SetWake installs the post-push hook.
+func (d *ChaseLev[T]) SetWake(fn func()) { d.wake = fn }
 
 // grow copies the live window [t, b) into a buffer twice the size and
 // publishes it. Grows are amortized and absent in steady state. Thieves

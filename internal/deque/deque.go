@@ -92,6 +92,11 @@ type Queue[T any] interface {
 	// Len returns the current number of items. It is advisory under
 	// concurrency.
 	Len() int
+	// SetWake installs a hook invoked after each PushBottom has published
+	// its item — the engine's "work appeared" signal for waking parked
+	// idle workers. Install before any concurrent use (nil clears it);
+	// the hook must be cheap and must not touch the deque.
+	SetWake(fn func())
 	// Grows returns how many times the deque's buffer has grown since
 	// construction — the growth-churn signal the engine sizes initial
 	// capacities to eliminate. Owner-written; read it only when the owner

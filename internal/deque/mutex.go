@@ -15,6 +15,7 @@ type Mutex[T any] struct {
 	head  int // index of the top (oldest) element
 	n     int // number of elements
 	grows int64
+	wake  func() // post-push hook; set before concurrent use
 }
 
 // NewMutex returns an empty deque with the given initial capacity hint.
@@ -45,7 +46,15 @@ func (d *Mutex[T]) PushBottom(e Entry[T]) {
 	d.buf[(d.head+d.n)%len(d.buf)] = e
 	d.n++
 	d.mu.Unlock()
+	// Outside the lock: the item is already stealable, and the hook may
+	// do its own (cheap) synchronization.
+	if d.wake != nil {
+		d.wake()
+	}
 }
+
+// SetWake installs the post-push hook.
+func (d *Mutex[T]) SetWake(fn func()) { d.wake = fn }
 
 // PopBottom removes the newest item.
 func (d *Mutex[T]) PopBottom() (Entry[T], bool) {

@@ -46,6 +46,11 @@ type Config struct {
 	// default). Changing it changes the emitted document — regenerated
 	// baselines must use the default.
 	Seed uint64
+	// Iterations is how many Execute reuses the persist experiment
+	// measures per engine (default 4; baselines use the default). Other
+	// experiments ignore it, so it is deliberately not echoed into the
+	// report envelope.
+	Iterations int
 	// Format selects the renderer: FormatTable (default), FormatCSV, or
 	// FormatJSON (one perf.Document over the whole run).
 	Format string
@@ -65,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cost == (numa.CostModel{}) {
 		c.Cost = numa.DefaultCostModel()
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 4
 	}
 	if c.Format == "" {
 		if c.CSV {
@@ -115,6 +123,7 @@ var experiments = []struct {
 	{"hier", hierReport},
 	{"alloc", allocReport},
 	{"arena", arenaReport},
+	{"persist", persistReport},
 }
 
 // Experiments lists the runnable experiment names.

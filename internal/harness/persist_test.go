@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"nabbitc/internal/bench"
+)
+
+// TestPersistReport pins the persist experiment's load-bearing claims:
+// steady-state Execute reuse costs a small constant allocation count (no
+// arena/table rebuild), every run parks its idle worker, and schedules
+// are identical across reuses and against a fresh engine.
+func TestPersistReport(t *testing.T) {
+	cfg := Config{Scale: bench.ScaleSmall, Iterations: 3}.withDefaults()
+	rep, err := persistReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("expected 2 tables, got %d", len(rep.Tables))
+	}
+
+	reuse := rep.Tables[0]
+	if len(reuse.Rows) != cfg.Iterations {
+		t.Fatalf("reuse table has %d rows, want %d", len(reuse.Rows), cfg.Iterations)
+	}
+	for i, row := range reuse.Rows {
+		if row.Values["parks"] < 1 {
+			t.Fatalf("%s: no parks recorded — idle workers must park between runs", row.Key)
+		}
+		if row.Values["spin_rounds"] != 0 {
+			t.Fatalf("%s: %v spin rounds on a 1-worker run, want 0", row.Key, row.Values["spin_rounds"])
+		}
+		// Steady-state iterations (after the cold first run) must stay at
+		// a small constant: a rebuilt arena or node table would cost at
+		// least one allocation per graph node (129 for small heat).
+		if i > 0 && row.Values["allocs_run"] > 32 {
+			t.Fatalf("%s: %v allocs per reused Execute, want steady-state <= 32",
+				row.Key, row.Values["allocs_run"])
+		}
+	}
+
+	sched := rep.Tables[1]
+	if len(sched.Rows) == 0 {
+		t.Fatal("schedule-identity table is empty")
+	}
+	for _, row := range sched.Rows {
+		if row.Values["iterations_match"] != 1 {
+			t.Fatalf("%s: schedules diverged across Execute reuses", row.Key)
+		}
+		if row.Values["fresh_match"] != 1 {
+			t.Fatalf("%s: reused engine schedules diverge from a fresh engine", row.Key)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type WallclockConfig struct {
 	// Seed, when nonzero, overrides the scheduling seed of every timed
 	// policy (0 keeps each policy's default).
 	Seed uint64
+	// Iterations is the outer iteration count of the persistent-engine
+	// reuse rows (default 8); 0 keeps the default, negative disables the
+	// persist table entirely.
+	Iterations int
 	// now overrides the clock stamp in tests.
 	now func() time.Time
 }
@@ -45,6 +49,9 @@ func (c WallclockConfig) withDefaults() WallclockConfig {
 	}
 	if c.Repeats <= 0 {
 		c.Repeats = 3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 8
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -149,7 +156,106 @@ func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
 		}
 		rep.AddTable(t)
 	}
+	if cfg.Iterations > 0 {
+		pt, err := wallclockPersistTable(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if pt != nil {
+			rep.AddTable(pt)
+		}
+	}
 	return rep, nil
+}
+
+// wallclockPersistTable times the iterative benchmarks both ways: one
+// persistent engine executing Iterations single-sweep graphs (reuse) vs
+// one fresh single-use Run per sweep (fresh). The ratio is the wall-clock
+// payoff of engine reuse; parks confirm idle workers actually sleep.
+// Returns nil when none of the configured benchmarks are iterative.
+func wallclockPersistTable(cfg WallclockConfig) (*perf.Table, error) {
+	t := perf.NewTable("wallclock/persist",
+		fmt.Sprintf("Wall clock: persistent-engine reuse vs fresh engines (%d iterations, %d workers, min of %d runs)",
+			cfg.Iterations, cfg.Workers, cfg.Repeats),
+		"benchmark",
+		perf.M("reuse_wall_ns_min", "ns", perf.LowerIsBetter),
+		perf.M("fresh_wall_ns_min", "ns", perf.Neutral),
+		perf.M("fresh_vs_reuse", "x", perf.HigherIsBetter),
+		perf.M("parks", "", perf.Neutral))
+	rows := 0
+	for _, name := range cfg.Benchmarks {
+		if !suite.Iterative(name) {
+			continue
+		}
+		pol := applySeed(core.NabbitCPolicy(), cfg.Seed)
+
+		var parks int64
+		reuseMin, _, _, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
+			rg, err := suite.BuildReal(name, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			ig := rg.(bench.IterativeGraph)
+			spec, sink := ig.StepSpec(cfg.Workers)
+			return func() (*core.Stats, error) {
+				e, err := core.NewEngine(spec, core.Options{Workers: cfg.Workers, Policy: pol})
+				if err != nil {
+					return nil, err
+				}
+				defer e.Close()
+				var last *core.Stats
+				for i := 0; i < cfg.Iterations; i++ {
+					st, err := e.Execute(sink)
+					if err != nil {
+						return nil, err
+					}
+					last = st
+					ig.Advance()
+				}
+				parks += last.Parks()
+				return last, nil
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wallclock persist %s/reuse: %w", name, err)
+		}
+
+		freshMin, _, _, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
+			rg, err := suite.BuildReal(name, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			ig := rg.(bench.IterativeGraph)
+			spec, sink := ig.StepSpec(cfg.Workers)
+			return func() (*core.Stats, error) {
+				var last *core.Stats
+				for i := 0; i < cfg.Iterations; i++ {
+					st, err := core.Run(spec, sink, core.Options{Workers: cfg.Workers, Policy: pol})
+					if err != nil {
+						return nil, err
+					}
+					last = st
+					ig.Advance()
+				}
+				return last, nil
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wallclock persist %s/fresh: %w", name, err)
+		}
+
+		t.AddRow(name, map[string]float64{
+			"reuse_wall_ns_min": float64(reuseMin),
+			"fresh_wall_ns_min": float64(freshMin),
+			"fresh_vs_reuse":    float64(freshMin) / float64(reuseMin),
+			"parks":             float64(parks) / float64(cfg.Repeats),
+		})
+		rows++
+	}
+	if rows == 0 {
+		return nil, nil
+	}
+	return t, nil
 }
 
 // WallclockDocument wraps the wall-clock report in a stamped document

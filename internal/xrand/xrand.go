@@ -38,8 +38,17 @@ func New(seed uint64) *Rand {
 // NewWorker returns a generator for worker id derived from a master seed,
 // such that distinct ids get decorrelated streams.
 func NewWorker(master uint64, id int) *Rand {
-	s := master ^ (uint64(id)+1)*0x9e3779b97f4a7c15
-	return New(s)
+	r := &Rand{}
+	r.SeedWorker(master, id)
+	return r
+}
+
+// SeedWorker reinitializes the generator to the exact stream NewWorker
+// would produce for (master, id), without allocating — a persistent
+// engine reseeds its workers in place before every run so repeated runs
+// draw identical victim sequences.
+func (r *Rand) SeedWorker(master uint64, id int) {
+	r.Seed(master ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
 }
 
 // Seed reinitializes the generator state from seed.
