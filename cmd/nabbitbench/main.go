@@ -9,6 +9,7 @@
 //	nabbitbench -experiment fig7 -bench heat,cg  # restrict benchmarks
 //	nabbitbench -experiment fig6 -cores 1,20,80 -format csv
 //	nabbitbench -experiment table2 -scale small  # quick run
+//	nabbitbench -experiment submit               # multi-tenant Submit/Wait census
 //	nabbitbench -experiment all -scale small -format json -out r.json
 //
 //	nabbitbench compare BASELINE.json NEW.json   # perf gate: exit 1 on regression

@@ -21,49 +21,90 @@
 // # Design note: the persistent engine lifecycle
 //
 // The real engine is a long-lived object: NewEngine builds the worker
-// pool (one goroutine per worker), the per-worker deques, and the node
-// table once; Execute runs one task graph to completion; Close releases
-// the workers. Run is the single-use composition of the three. Iterative
-// workloads — PageRank power iterations, stencil time stepping — hold one
-// Engine and Execute once per outer iteration, so every per-run
-// construction cost (goroutine spawn, deque buffers, the preallocated
-// node arena) is paid once and amortized.
+// pool (one goroutine per worker), the per-worker deques, and the first
+// node table once; Close releases the workers. Between those, two entry
+// points drive task graphs through the shared pool. Execute runs one
+// graph with exclusive occupancy and full WorkerStats; Submit admits a
+// graph into a multi-tenant stream and returns a Ticket whose Wait
+// yields that graph's Stats. Run is the single-use composition of
+// NewEngine + Execute + Close. Iterative workloads — PageRank power
+// iterations, stencil time stepping — hold one Engine and Execute once
+// per outer iteration, so every construction cost (goroutine spawn,
+// deque buffers, the preallocated node arena) is paid once and
+// amortized; services with many independent small graphs Submit them
+// concurrently and let workers interleave.
 //
-// Between runs the node table must forget the previous graph. The dense
-// arena does this in O(1): the node state word reserves bits 2..30 for an
-// epoch stamp, every lifecycle transition preserves the stamp, and reset
-// just bumps the arena's current epoch — a slot stamped with any other
-// epoch reads as absent, so there is no per-slot clearing loop (the
-// 29-bit stamp wraps once per 2^29 resets, at which point slots are
-// cleared the slow way once). The sharded map clears its shards in place,
-// keeping their buckets warm. Successor-list backing arrays survive runs
-// the same way: markComputed truncates instead of dropping them, so
-// steady-state Execute calls allocate only run bookkeeping (single-digit
-// allocations), never per-node storage.
+// Between graphs a node table must forget the previous occupant. The
+// dense arena does this in O(1): the node state word reserves bits 2..30
+// for an epoch stamp, every lifecycle transition preserves the stamp,
+// and reset just bumps the arena's current epoch — a slot stamped with
+// any other epoch reads as absent, so there is no per-slot clearing loop
+// (the 29-bit stamp wraps once per 2^29 resets, at which point slots are
+// cleared the slow way once). The sharded map clears its shards in
+// place, keeping their buckets warm. Successor-list backing arrays
+// survive the same way: markComputed truncates instead of dropping them,
+// so steady-state Execute and Submit cycles allocate only run
+// bookkeeping (single-digit allocations), never per-node storage.
+//
+// # Design note: multi-tenancy — per-graph runs, tables, and admission
+//
+// Each admitted graph is a graphRun: an engine-unique id, its own node
+// table instance, and a completion channel. Because epochs are a
+// property of a table instance, concurrent graphs cannot share one —
+// instead the engine keeps a pool of idle table instances under its
+// state lock; admission checks one out (reset to a fresh epoch) and
+// completion returns it. The recycle point is safe by a scheduling
+// invariant: when a run's sink computes, no deque can still hold an item
+// of that run, because any such item would be feeding a join below the
+// not-yet-computed sink. Every deque item carries its *graphRun, so
+// workers are graph-oblivious: steals and pops interleave whatever mix
+// of graphs is in flight, and a worker seeds a newly admitted graph from
+// the pending queue on a fixed stride (seedStride) of local pops, which
+// bounds how long a new graph waits behind a busy one.
+//
+// Admission is a slot semaphore of capacity Options.MaxInflight.
+// AdmissionBlock (the default) makes Submit wait for a slot;
+// AdmissionReject makes it fail fast with ErrSaturated. Execute uses the
+// same semaphore — it blocks until it holds a slot, then waits for the
+// engine to go quiet before taking exclusive occupancy, which is what
+// entitles it to per-worker stats resets (and the lastGrows snapshot
+// that keeps a failed run from corrupting the next run's DequeGrows
+// deltas). A graph whose exploration dies without computing its sink
+// (a dependency cycle) is detected by the last worker to park: if every
+// worker is parked, nothing is pending, and no deque has work while runs
+// are still registered, the stall sweep fails every registered run and
+// releases its slot — the engine stays reusable, byte-identical to a
+// fresh one.
 //
 // # Design note: the parking protocol
 //
 // Idle workers do not spin indefinitely. Each worker carries a notify
 // slot: an atomic parkState flag plus a one-token channel. A worker that
-// completes spinBeforePark unsuccessful probe sweeps — or that idles
-// between runs — parks: it announces parkState, re-checks its wake
-// condition (run done / any deque non-empty / new run generation), and
-// only then blocks on the channel. A waker CASes parkState parked→running
-// and, on winning, sends exactly one token; losing the CAS means someone
-// else owns the wake. Announce-then-recheck on one side and
-// publish-then-scan on the other make the classic Dekker argument: a
-// producer either observes the parked announcement (and delivers a
-// token) or published its work before the recheck (and the park is
-// abandoned) — no lost wakeups, which the race-stress test pins.
+// completes spinBeforePark unsuccessful probe sweeps parks: it announces
+// parkState (and the global parked count), re-checks its wake condition
+// (shutdown / pending submissions / any deque non-empty), and only then
+// blocks on the channel. A waker CASes parkState parked→running and, on
+// winning, decrements the parked count and sends exactly one token;
+// losing the CAS means someone else owns the wake. Announce-then-recheck
+// on one side and publish-then-scan on the other make the classic Dekker
+// argument: a producer either observes the parked announcement (and
+// delivers a token) or published its work before the recheck (and the
+// park is abandoned) — no lost wakeups, which the race-stress test pins.
+// Decrementing parked on the waker side (not when the sleeper resumes)
+// keeps the quiet-state reading exact: parked == workers implies no wake
+// token is in flight.
 //
-// Wake sources: every deque PushBottom fires a hook that wakes one parked
-// worker when any are parked (one atomic load otherwise); computing the
-// sink and Close wake everyone; Execute wakes everyone to start a run.
-// The end-of-run park doubles as Execute's quiescence barrier — Execute
-// returns only when every worker is parked again, which is also what
-// makes resetting tables, stats, and RNGs between runs race-free without
-// any locking on the hot paths. Parks, Wakes, and SpinRounds are reported
-// per worker in WorkerStats.
+// Wake sources: every deque PushBottom fires a hook that wakes one
+// parked worker when any are parked (one atomic load otherwise);
+// admission (Submit or Execute) wakes one worker to seed the new graph;
+// Close wakes everyone. Every park unwinds to the worker's main loop
+// before hunting again, so each wake re-polls the pending queue and
+// re-runs first-steal enforcement. The all-parked state doubles as the
+// engine's quiescence barrier — Execute takes occupancy and gathers
+// stats only when every worker is parked, which is what makes resetting
+// per-worker stats race-free without locking the hot paths; it is also
+// the trigger for the stall sweep above. Parks, Wakes, and SpinRounds
+// are reported per worker in WorkerStats.
 //
 // # Design note: the node lifecycle word
 //

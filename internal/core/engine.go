@@ -12,53 +12,74 @@ import (
 	"nabbitc/internal/xrand"
 )
 
-// Engine is a persistent instance of the real parallel scheduler: P worker
-// goroutines, each with a work-stealing deque of morphing-continuation
-// items, plus the node table for the spec's task graph. The engine is
-// built once (NewEngine) and executes any number of task graphs
-// (Execute), reusing the worker pool, the deques, and the node table
+// Engine is a persistent, multi-tenant instance of the real parallel
+// scheduler: P worker goroutines, each with a work-stealing deque of
+// morphing-continuation items, plus a pool of node-table instances. The
+// engine is built once (NewEngine) and executes any number of task
+// graphs, reusing the worker pool, the deques, and the node tables
 // across runs — the iterative-workload shape (PageRank power iterations,
 // stencil time stepping) where per-run construction cost would otherwise
-// dominate. Between and within runs, idle workers park on a per-worker
-// notify slot instead of spinning (see doc.go's parking design note).
+// dominate, and the service shape where many small graphs are in flight
+// at once. Idle workers park on a per-worker notify slot instead of
+// spinning (see doc.go's parking design note).
 //
-// Execute and Close serialize against each other; an Engine must not be
-// shared by concurrent Execute calls. Close releases the worker
-// goroutines — every NewEngine must be paired with a Close.
+// Graphs enter through two front doors:
+//
+//   - Submit/Wait: admit a graph (subject to Options.MaxInflight and
+//     Options.Admission) and return a Ticket immediately; any number of
+//     graphs may be in flight concurrently, from any goroutines.
+//   - Execute: run one graph with exclusive occupancy of the pool and
+//     full per-worker statistics. Concurrent Execute calls are safe and
+//     simply serialize (they also serialize against Close).
+//
+// Close releases the worker goroutines after draining in-flight graphs —
+// every NewEngine must be paired with a Close.
 type Engine struct {
 	spec    Spec
 	opts    Options
-	nt      nodeTable
-	backend string
+	dense   bool   // resolved node-table backend
+	backend string // its Stats name
 	workers []*worker
 
-	// sinkKey/done/start are the current run's state, written by Execute
-	// before it wakes the workers (the wake tokens carry the
-	// happens-before edge) and by the worker that computes the sink.
-	sinkKey Key
-	done    atomic.Bool
-	start   time.Time
+	// slots is the admission semaphore: one token per in-flight graph,
+	// capacity Options.MaxInflight. pending is the FIFO hand-off of
+	// admitted-but-unseeded graphs to the workers; every pending graph
+	// holds a slot, so a send during admission can never block.
+	slots   chan struct{}
+	pending chan *graphRun
+	// closedCh unblocks Submit calls parked in blocking admission when
+	// the engine closes.
+	closedCh chan struct{}
+	// nextID stamps each admitted graph with a unique id.
+	nextID atomic.Uint64
 
-	// parked counts currently-parked workers; the deque push hook reads
-	// it to skip the wake scan entirely when nobody is asleep.
+	// stateMu guards the run registry and table pool, and makes
+	// admission (register + pending send) atomic with respect to the
+	// stall sweep and Execute's quiescence checks.
+	stateMu sync.Mutex
+	runs    []*graphRun // in-flight graphs, unordered (guarded by stateMu)
+	tables  []nodeTable // idle node-table instances (guarded by stateMu)
+	// active mirrors len(runs) atomically so the stall sweep and
+	// quiescence checks can read it without stateMu.
+	active atomic.Int32
+
+	// parked counts currently-parked workers. A wake decrements it on
+	// the waker's side (after winning the park CAS), so parked == P
+	// implies no wake token is in flight — the quiet state Execute's
+	// stats reset/gather and the stall sweep rely on.
 	parked atomic.Int32
-	// gen is the run generation, bumped by Execute before waking the
-	// workers. A worker woken from its between-runs park distinguishes a
-	// genuine run start (gen advanced) from a stale token left by a
-	// straggling in-run waker (gen unchanged — park again).
-	gen atomic.Uint64
-	// closeFlag tells woken workers to exit instead of starting a run.
+	// closing gates Submit as soon as Close begins; closeFlag tells
+	// workers to exit once Close has drained the in-flight graphs.
+	closing   atomic.Bool
 	closeFlag atomic.Bool
 
 	mu     sync.Mutex // serializes Execute and Close
 	closed bool       // guarded by mu
 
 	// startWG releases NewEngine once every worker has announced its
-	// initial park (so the first Execute's wake tokens cannot be lost);
-	// runWG is the per-run quiescence barrier (workers arrive at their
-	// between-runs park); exitWG tracks worker goroutine exit for Close.
+	// initial park (so the first wake tokens cannot be lost); exitWG
+	// tracks worker goroutine exit for Close.
 	startWG sync.WaitGroup
-	runWG   sync.WaitGroup
 	exitWG  sync.WaitGroup
 }
 
@@ -88,8 +109,8 @@ func ResolveNodeTable(spec Spec, backend NodeTableBackend) (NodeTableBackend, er
 	}
 }
 
-// newNodeTable picks and builds the run's node store per Options.NodeTable
-// (see doc.go's backend design note) and names the choice for Stats.
+// newNodeTable picks and builds a node store per Options.NodeTable (see
+// doc.go's backend design note) and names the choice for Stats.
 func newNodeTable(spec Spec, opts Options) (nodeTable, string, error) {
 	backend, err := ResolveNodeTable(spec, opts.NodeTable)
 	if err != nil {
@@ -132,6 +153,12 @@ func dequeCapacity(bound, workers int) int {
 // worker burns microseconds — not wall-clock — before sleeping.
 const spinBeforePark = 64
 
+// seedStride bounds how many consecutive local items a worker runs
+// before polling the pending queue: with every worker busy on admitted
+// graphs, a newly submitted graph still gets seeded within seedStride
+// item executions — the round-robin fairness bound across submissions.
+const seedStride = 64
+
 type worker struct {
 	id    int // == color
 	color int
@@ -164,8 +191,13 @@ type worker struct {
 	// spins counts consecutive unsuccessful probe sweeps since the last
 	// acquired work or park; at spinBeforePark the worker parks.
 	spins int
-	// lastGrows remembers the deque's cumulative growth count at the end
-	// of the previous run, so per-run DequeGrows stays a delta.
+	// streak counts consecutive locally popped items since the last
+	// pending-queue poll; at seedStride the worker polls (fairness).
+	streak int
+	// lastGrows snapshots the deque's cumulative growth count when
+	// Execute resets this worker, so per-run DequeGrows is a delta.
+	// Snapshotting at run start (not run end) means a failed run can
+	// never leak its growths into the next run's delta.
 	lastGrows int64
 
 	// parkState (0 running, 1 parked) plus the one-token parkCh form the
@@ -174,29 +206,35 @@ type worker struct {
 	// token per announced park, so tokens can never accumulate.
 	parkState atomic.Int32
 	parkCh    chan struct{}
-	// lastGen is the run generation this worker last participated in.
-	lastGen uint64
 }
 
 // NewEngine builds a persistent engine for the spec: the worker pool, the
-// per-worker deques, and the node table, all reused by every subsequent
-// Execute. The workers are started immediately and park until the first
-// Execute. Callers must Close the engine to release them.
+// per-worker deques, and the first node-table instance, all reused by
+// every subsequent Execute/Submit. The workers are started immediately
+// and park until the first graph arrives. Callers must Close the engine
+// to release them.
 func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	nt, backend, err := newNodeTable(spec, opts)
+	backend, err := ResolveNodeTable(spec, opts.NodeTable)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		spec:    spec,
-		opts:    opts,
-		nt:      nt,
-		backend: backend,
+		spec:     spec,
+		opts:     opts,
+		dense:    backend == NodeTableDense,
+		backend:  backend.String(),
+		slots:    make(chan struct{}, opts.MaxInflight),
+		pending:  make(chan *graphRun, opts.MaxInflight),
+		closedCh: make(chan struct{}),
 	}
+	// Build the first table eagerly: spec problems surface here rather
+	// than on some later Submit, and the single-tenant Execute loop
+	// reuses this one instance forever.
+	e.tables = []nodeTable{e.buildTable()}
 	p := opts.Policy
 	dqCap := dequeCapacity(KeyBoundOf(spec), opts.Workers)
 	e.workers = make([]*worker, opts.Workers)
@@ -227,8 +265,8 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		}
 	}
 	// NewEngine returns only after every worker has announced its initial
-	// park: the first Execute's wake CAS would fail against a worker that
-	// had not yet registered, stranding it asleep.
+	// park: the first admission's wake CAS would fail against a worker
+	// that had not yet registered, stranding it asleep.
 	e.startWG.Add(opts.Workers)
 	e.exitWG.Add(opts.Workers)
 	for _, w := range e.workers {
@@ -238,11 +276,27 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// buildTable constructs a node-table instance for the resolved backend.
+func (e *Engine) buildTable() nodeTable {
+	if e.dense {
+		return newNodeArena(e.spec, KeyBoundOf(e.spec), e.opts.Workers)
+	}
+	return newNodeMap(e.spec)
+}
+
 // Execute runs the task graph whose completion is marked by the sink task,
 // creating nodes on demand from the sink's (transitive) predecessors, and
-// returns scheduling statistics for this run. Every task reachable from
-// the sink is computed exactly once, and a task computes only after all
-// its predecessors. The graph must be acyclic (see CheckDAG).
+// returns scheduling statistics for this run — including the per-worker
+// counters, which Submit-mode stats cannot attribute. Every task
+// reachable from the sink is computed exactly once, and a task computes
+// only after all its predecessors. The graph must be acyclic (see
+// CheckDAG); a graph whose sink can never compute returns an error and
+// leaves the engine reusable.
+//
+// Execute takes exclusive occupancy: it waits for in-flight Submit
+// graphs to drain, then runs alone so the per-worker statistics describe
+// exactly this graph. Concurrent Execute calls are safe — they serialize
+// on an internal lock (and against Close), each running in turn.
 //
 // Repeated calls reuse the engine's workers, deques, and node table: the
 // dense arena retires the previous run's nodes by bumping an epoch stamp
@@ -256,58 +310,76 @@ func (e *Engine) Execute(sink Key) (*Stats, error) {
 	if e.closed {
 		return nil, fmt.Errorf("core: Execute on a closed engine")
 	}
+	e.slots <- struct{}{} // Execute admission always blocks
+	r := &graphRun{id: e.nextID.Add(1), sink: sink, done: make(chan struct{})}
 
-	// All workers are parked between runs here (NewEngine and the
-	// previous Execute both end at that barrier), so every per-run field
-	// can be reset without synchronization; the wake tokens below publish
-	// the writes.
-	e.nt.reset()
+	// Wait for the pool to go quiet (no graphs in flight, every worker
+	// parked, no wake token in flight), then reset the per-run worker
+	// state and admit the graph in the same critical section: a
+	// concurrent Submit cannot interleave its registration (it needs
+	// stateMu) and no worker can be touching its stats.
+	e.lockQuiet()
 	pol := e.opts.Policy
 	for i, w := range e.workers {
 		w.stats = WorkerStats{}
 		w.startedWork = false
 		w.idleSince = time.Time{}
 		w.spins = 0
+		w.streak = 0
 		w.rng.SeedWorker(pol.Seed, i)
-		// Worker 0 starts with the root work, so its first acquisition is
-		// not a steal.
+		// The seeding worker starts with the root work, so its first
+		// acquisition is not a steal.
 		w.firstStealPending = pol.Colored && pol.ForceFirstColoredSteal && i != 0
+		w.lastGrows = w.dq.Grows()
 	}
-	e.sinkKey = sink
-	e.done.Store(false)
-	e.start = time.Now()
-	e.runWG.Add(len(e.workers))
-	e.gen.Add(1)
-	e.wakeAll()
-	e.runWG.Wait()
-	elapsed := time.Since(e.start)
+	e.admitLocked(r)
+	e.stateMu.Unlock()
+	e.wakeOne()
+	<-r.done
 
-	sinkNode, ok := e.nt.get(sink)
-	if !ok || !sinkNode.Computed() {
-		return nil, fmt.Errorf("core: run ended without computing sink %d", sink)
+	// Quiesce again before gathering: the finishing worker unwinds and
+	// parks after closing done, and stats must not be read mid-write.
+	e.lockQuiet()
+	defer e.stateMu.Unlock()
+	if r.err != nil {
+		return nil, r.err
 	}
-
-	st := &Stats{
-		Workers:      make([]WorkerStats, len(e.workers)),
-		Elapsed:      elapsed,
-		NodesCreated: e.nt.count(),
-		NodeBackend:  e.backend,
-		Topology:     e.opts.Topology,
-	}
+	st := r.stats
+	st.Workers = make([]WorkerStats, len(e.workers))
 	for i, w := range e.workers {
 		if !w.startedWork {
-			w.stats.TimeToFirstWork = elapsed
+			w.stats.TimeToFirstWork = st.Elapsed
 		}
-		g := w.dq.Grows()
-		w.stats.DequeGrows = g - w.lastGrows
-		w.lastGrows = g
+		w.stats.DequeGrows = w.dq.Grows() - w.lastGrows
 		st.Workers[i] = w.stats
 	}
 	return st, nil
 }
 
-// Close wakes and releases the worker goroutines. It is idempotent and
-// returns only after every worker has exited; Execute after Close errors.
+// lockQuiet acquires stateMu in the engine's quiet state: no graph in
+// flight, nothing pending, and every worker parked (which, with the
+// waker-side parked decrement, implies no wake token is in flight
+// either).
+func (e *Engine) lockQuiet() {
+	for i := 0; ; i++ {
+		e.stateMu.Lock()
+		if e.active.Load() == 0 && len(e.pending) == 0 &&
+			e.parked.Load() == int32(len(e.workers)) {
+			return
+		}
+		e.stateMu.Unlock()
+		if i < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// Close drains in-flight graphs, then wakes and releases the worker
+// goroutines. Graphs that can never finish are failed by the stall sweep
+// rather than leaked. Close is idempotent and returns only after every
+// worker has exited; Execute and Submit after Close error.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -315,6 +387,23 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.closing.Store(true)
+	close(e.closedCh)
+	// Drain: workers keep running (closeFlag is still down) until every
+	// admitted graph has finished or been failed by the stall sweep.
+	for i := 0; ; i++ {
+		e.stateMu.Lock()
+		idle := e.active.Load() == 0 && len(e.pending) == 0
+		e.stateMu.Unlock()
+		if idle {
+			break
+		}
+		if i < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
 	e.closeFlag.Store(true)
 	e.wakeAll()
 	e.exitWG.Wait()
@@ -379,9 +468,13 @@ func (e *Engine) wakeAll() {
 
 // wake delivers one token to the worker if it is parked. Winning the CAS
 // makes this caller the park's sole waker, so the one-slot channel send
-// can never block.
+// can never block. The waker also retires the worker's parked count:
+// from the instant the CAS wins the worker is committed to running, and
+// keeping parked == P equivalent to "no token in flight" is what lets
+// Execute treat the all-parked state as fully quiescent.
 func (w *worker) wake() bool {
 	if w.parkState.CompareAndSwap(1, 0) {
+		w.e.parked.Add(-1)
 		w.parkCh <- struct{}{}
 		return true
 	}
@@ -397,74 +490,38 @@ func (w *worker) wake() bool {
 // parker consumes the in-flight token anyway so it cannot leak into a
 // later park.
 //
-// onQuiesce, when non-nil, runs after the announcement and the park
-// accounting: it is the engine's run-boundary barrier hook (runWG.Done /
-// startWG.Done), and nothing in this worker's stats is written between
-// the hook and the next wake — that is what lets Execute read the stats
-// of a worker blocked here. countParks/countWakes gate the stats
-// accounting: a between-runs park records its Parks before the quiescence
-// signal but must not record Wakes inside park (a stale straggler token
-// could deliver the wake while Execute is still reading stats — the
-// caller records it once a genuine run start is confirmed), and
-// awaitNextRun's stale-token re-parks record nothing at all.
-func (w *worker) park(cancel func() bool, onQuiesce func(), countParks, countWakes bool) {
+// Every park is also a stall-sweep site: if this announcement made the
+// whole pool parked while graphs are still registered, no worker can
+// ever make progress on them again, and the sweep fails them (see
+// failStalled). announced, when non-nil, runs right after the
+// announcement (the NewEngine start barrier).
+func (w *worker) park(cancel func() bool, announced func()) {
 	e := w.e
+	w.stats.Parks++
 	w.parkState.Store(1)
 	e.parked.Add(1)
+	if announced != nil {
+		announced()
+	}
+	if e.active.Load() > 0 && e.parked.Load() == int32(len(e.workers)) {
+		e.failStalled()
+	}
 	if cancel != nil && cancel() {
 		if w.parkState.CompareAndSwap(1, 0) {
 			e.parked.Add(-1)
-			if onQuiesce != nil {
-				onQuiesce()
-			}
+			w.stats.Parks--
 			return
 		}
-		// Lost to a concurrent waker: its token is in flight. Fall
-		// through and consume it.
-	}
-	if countParks {
-		w.stats.Parks++
-	}
-	if onQuiesce != nil {
-		onQuiesce()
+		// Lost to a concurrent waker: its token is in flight (and the
+		// waker already retired our parked count). Fall through and
+		// consume it.
 	}
 	<-w.parkCh
-	if countWakes {
-		w.stats.Wakes++
-	}
-	e.parked.Add(-1)
+	w.stats.Wakes++
 }
 
-// awaitNextRun is the between-runs park: block until Execute advances the
-// run generation (return true) or Close raises the close flag (return
-// false). Stale tokens from stragglers of the finished run — a worker
-// draining its last item can still push, and pushes wake — just re-park.
-// onQuiesce is passed through to the first park only: one quiescence
-// signal per run boundary.
-func (w *worker) awaitNextRun(onQuiesce func()) bool {
-	e := w.e
-	cancel := func() bool {
-		return e.closeFlag.Load() || e.gen.Load() != w.lastGen
-	}
-	count := true
-	for {
-		w.park(cancel, onQuiesce, count, false)
-		onQuiesce, count = nil, false
-		if e.closeFlag.Load() {
-			return false
-		}
-		if g := e.gen.Load(); g != w.lastGen {
-			w.lastGen = g
-			// A genuine start: Execute has reset this worker's stats and
-			// is blocked on the run barrier, so the write is race-free.
-			w.stats.Wakes++
-			return true
-		}
-	}
-}
-
-// main is the persistent worker goroutine: park between runs, execute
-// each run to completion, exit on close.
+// main is the persistent worker goroutine: seed pending graphs, drain
+// the local deque, steal, park when idle, exit on close.
 func (w *worker) main() {
 	e := w.e
 	defer e.exitWG.Done()
@@ -472,28 +529,23 @@ func (w *worker) main() {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	quiesce := e.startWG.Done
-	for {
-		if !w.awaitNextRun(quiesce) {
-			return
+	// Initial park: announce through the start barrier so NewEngine
+	// returns only once this worker's notify slot is live.
+	w.park(nil, e.startWG.Done)
+	for !e.closeFlag.Load() {
+		if w.streak >= seedStride {
+			w.streak = 0
+			if w.trySeed() {
+				continue
+			}
 		}
-		quiesce = e.runWG.Done
-		w.runLoop(w.id == 0)
-	}
-}
-
-func (w *worker) runLoop(seedRoot bool) {
-	if seedRoot {
-		w.markStarted()
-		n, created := w.e.nt.getOrCreate(w.e.sinkKey)
-		if !created {
-			panic("core: sink node pre-existed at run start")
-		}
-		w.initAndCompute(n)
-	}
-	for !w.e.done.Load() {
 		if ent, ok := w.dq.PopBottom(); ok {
+			w.streak++
 			w.exec(ent.Value)
+			continue
+		}
+		w.streak = 0
+		if w.trySeed() {
 			continue
 		}
 		if it, ok := w.findWork(); ok {
@@ -502,25 +554,54 @@ func (w *worker) runLoop(seedRoot bool) {
 	}
 }
 
-func (w *worker) markStarted() {
+// bail reports whether the worker should abandon its current hunt and
+// return to the main loop: the engine is closing, or a pending graph is
+// waiting to be seeded (seeding beats stealing — it is guaranteed work).
+func (w *worker) bail() bool {
+	return w.e.closeFlag.Load() || len(w.e.pending) > 0
+}
+
+// trySeed polls the pending queue and, on a hit, roots the graph: create
+// its sink node and start resolving predecessors. The sink must be new —
+// each graph owns a freshly reset table, so a pre-existing sink means the
+// reset protocol broke.
+func (w *worker) trySeed() bool {
+	select {
+	case r := <-w.e.pending:
+		w.spins = 0
+		w.markStarted(r)
+		n, created := r.nt.getOrCreate(r.sink)
+		if !created {
+			panic("core: sink node pre-existed at run start")
+		}
+		w.initAndCompute(r, n)
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *worker) markStarted(r *graphRun) {
 	if !w.startedWork {
 		w.startedWork = true
-		w.stats.TimeToFirstWork = time.Since(w.e.start)
+		w.stats.TimeToFirstWork = time.Since(r.start)
 	}
 }
 
 func (w *worker) exec(it item) {
 	w.spins = 0
-	w.markStarted()
-	w.runItem(it)
+	w.markStarted(it.run)
+	w.runItem(it.run, it)
 }
 
 // push reifies a continuation as a stealable deque item tagged with the
-// colors available inside it (the paper's cilkrts_set_next_colors). For
-// the single-group items the binary-splitting hot path produces, the mask
-// is the group's own color — O(1), no group rescan, and with the inline
-// colorset representation no allocation.
-func (w *worker) push(it item) {
+// colors available inside it (the paper's cilkrts_set_next_colors) and
+// the graph it belongs to. For the single-group items the
+// binary-splitting hot path produces, the mask is the group's own color —
+// O(1), no group rescan, and with the inline colorset representation no
+// allocation.
+func (w *worker) push(r *graphRun, it item) {
+	it.run = r
 	nw := len(w.e.workers)
 	var cs colorset.Set
 	if it.groups == nil {
@@ -538,12 +619,12 @@ func (w *worker) push(it item) {
 // the half of the color groups containing this worker's color, leaving
 // the other half stealable; spawn_nodes then binary-splits the single
 // remaining color group the same way, finally executing one leaf.
-func (w *worker) runItem(it item) {
+func (w *worker) runItem(r *graphRun, it item) {
 	if it.size() == 0 {
 		return
 	}
 	if it.groups == nil {
-		w.runGroup(it.owner, it.single)
+		w.runGroup(r, it.owner, it.single)
 		return
 	}
 	groups := it.groups
@@ -555,48 +636,48 @@ func (w *worker) runItem(it item) {
 			first, second = second, first
 		}
 		if len(second) == 1 {
-			w.push(item{owner: it.owner, single: second[0]})
+			w.push(r, item{owner: it.owner, single: second[0]})
 		} else {
-			w.push(item{owner: it.owner, groups: second})
+			w.push(r, item{owner: it.owner, groups: second})
 		}
 		groups = first
 	}
-	w.runGroup(it.owner, groups[0])
+	w.runGroup(r, it.owner, groups[0])
 }
 
 // runGroup binary-splits a single color group, pushing inline single-group
 // continuations (no allocation), and resolves the final leaf.
-func (w *worker) runGroup(owner *Node, g group) {
+func (w *worker) runGroup(r *graphRun, owner *Node, g group) {
 	if owner != nil {
 		keys := g.keys
 		for len(keys) > 1 {
 			mid := len(keys) / 2
-			w.push(item{owner: owner, single: group{color: g.color, keys: keys[mid:]}})
+			w.push(r, item{owner: owner, single: group{color: g.color, keys: keys[mid:]}})
 			keys = keys[:mid]
 		}
-		w.tryInitCompute(owner, keys[0])
+		w.tryInitCompute(r, owner, keys[0])
 		return
 	}
 	nodes := g.nodes
 	for len(nodes) > 1 {
 		mid := len(nodes) / 2
-		w.push(item{single: group{color: g.color, nodes: nodes[mid:]}})
+		w.push(r, item{single: group{color: g.color, nodes: nodes[mid:]}})
 		nodes = nodes[:mid]
 	}
-	w.computeAndNotify(nodes[0])
+	w.computeAndNotify(r, nodes[0])
 }
 
 // tryInitCompute resolves one predecessor key of owner: create the
 // predecessor and process it, or enqueue owner on the existing
 // predecessor's successor list, or — if the predecessor has already
 // computed — account it directly, possibly making owner ready.
-func (w *worker) tryInitCompute(owner *Node, pkey Key) {
-	pred, created := w.e.nt.getOrCreate(pkey)
+func (w *worker) tryInitCompute(r *graphRun, owner *Node, pkey Key) {
+	pred, created := r.nt.getOrCreate(pkey)
 	if created {
 		// We created pred, so it cannot have computed yet; owner's
 		// join will be accounted by pred's completion notification.
 		pred.addSuccessor(owner)
-		w.initAndCompute(pred)
+		w.initAndCompute(r, pred)
 		return
 	}
 	if pred.addSuccessor(owner) {
@@ -604,24 +685,26 @@ func (w *worker) tryInitCompute(owner *Node, pkey Key) {
 	}
 	// pred had already computed.
 	if owner.decJoin() {
-		w.computeAndNotify(owner)
+		w.computeAndNotify(r, owner)
 	}
 }
 
 // initAndCompute processes a freshly created node: compute it immediately
 // if it has no predecessors, otherwise spawn its predecessors grouped by
 // color.
-func (w *worker) initAndCompute(n *Node) {
+func (w *worker) initAndCompute(r *graphRun, n *Node) {
 	if len(n.preds) == 0 {
-		w.computeAndNotify(n)
+		w.computeAndNotify(r, n)
 		return
 	}
-	w.runItem(w.groupKeys(n, n.preds))
+	it := w.groupKeys(n, n.preds)
+	it.run = r
+	w.runItem(r, it)
 }
 
 // computeAndNotify executes a ready node, then notifies its successors,
 // spawning any that became ready (grouped by color).
-func (w *worker) computeAndNotify(n *Node) {
+func (w *worker) computeAndNotify(r *graphRun, n *Node) {
 	// Locality accounting per the paper (§V-B): one access for the node
 	// itself plus one per predecessor, judged by the data's true home
 	// domain vs. this worker's domain.
@@ -651,10 +734,13 @@ func (w *worker) computeAndNotify(n *Node) {
 		}
 	}
 	w.ready = ready
-	if n.key == w.e.sinkKey {
-		w.e.done.Store(true)
-		// Parked workers cannot observe the flag on their own.
-		w.e.wakeAll()
+	if n.key == r.sink {
+		// A DAG's sink has no successors and — since every other live
+		// item of this graph would feed an unresolved join below the
+		// sink — no items of this graph remain in any deque, so the
+		// graph's table can be recycled right here (see finishRun).
+		w.e.finishRun(r)
+		return
 	}
 	switch len(ready) {
 	case 0:
@@ -664,10 +750,12 @@ func (w *worker) computeAndNotify(n *Node) {
 		// item whose interpretation is exactly this call; skip the
 		// wrapping (and its copy) entirely.
 		n0 := ready[0]
-		w.computeAndNotify(n0)
+		w.computeAndNotify(r, n0)
 		return
 	}
-	w.runItem(w.groupNodes(ready))
+	it := w.groupNodes(ready)
+	it.run = r
+	w.runItem(r, it)
 }
 
 // victim picks a random worker other than w.
@@ -737,19 +825,23 @@ func (w *worker) noteProbeFailed() {
 }
 
 // idleSweep ends one fully unsuccessful probe sweep: spin (Gosched) while
-// under the bounded-spin budget, then park until new work is pushed or
-// the run ends. The park re-checks done and every deque after announcing
-// itself, so a push racing the park is never lost (see park).
-func (w *worker) idleSweep() {
+// under the bounded-spin budget, then park until new work is pushed, a
+// graph arrives, or the engine closes. It reports whether it parked: a
+// woken worker must unwind to the main loop (not resume mid-hunt) so the
+// pending poll and first-steal enforcement re-run per wake.
+func (w *worker) idleSweep() bool {
 	w.stats.SpinRounds++
 	w.spins++
 	if w.spins < spinBeforePark {
 		runtime.Gosched()
-		return
+		return false
 	}
 	w.spins = 0
 	e := w.e
-	w.park(func() bool { return e.done.Load() || e.anyWork() }, nil, true, true)
+	w.park(func() bool {
+		return e.closeFlag.Load() || len(e.pending) > 0 || e.anyWork()
+	}, nil)
+	return true
 }
 
 // findWork implements the stealing policy: while enforcing the first
@@ -779,17 +871,20 @@ func (w *worker) hunt() (item, bool) {
 	nw := len(e.workers)
 	if nw == 1 {
 		// A lone worker has no victims, and nothing outside this
-		// goroutine can create work mid-run: an empty deque here means
-		// the run is (about to be) done. Park instead of the historical
-		// 100%-CPU Gosched ping-pong; done/close wake us.
+		// goroutine can create work for a graph it is running: an empty
+		// deque here means its graphs are done (or stalled). Park
+		// instead of the historical 100%-CPU Gosched ping-pong; a new
+		// graph or close wakes us.
 		w.noteProbeFailed()
-		w.park(func() bool { return e.done.Load() }, nil, true, true)
+		w.park(func() bool {
+			return e.closeFlag.Load() || len(e.pending) > 0
+		}, nil)
 		return item{}, false
 	}
 
 	if w.firstStealPending {
 		maxChecks := int64(p.FirstStealMaxRounds) * int64(nw-1)
-		for !e.done.Load() {
+		for !w.bail() {
 			v := w.victim()
 			w.stats.FirstStealChecks++
 			w.attempt(TierGlobalColored, true)
@@ -808,9 +903,11 @@ func (w *worker) hunt() (item, bool) {
 				w.firstStealPending = false
 				break
 			}
-			w.idleSweep()
+			if w.idleSweep() {
+				return item{}, false
+			}
 		}
-		if e.done.Load() {
+		if w.bail() {
 			return item{}, false
 		}
 	}
@@ -819,7 +916,7 @@ func (w *worker) hunt() (item, bool) {
 		return w.huntHier()
 	}
 
-	for !e.done.Load() {
+	for !w.bail() {
 		if p.Colored {
 			for i := 0; i < p.ColoredStealAttempts; i++ {
 				v := w.victim()
@@ -843,7 +940,9 @@ func (w *worker) hunt() (item, bool) {
 			return ent.Value, true
 		}
 		w.noteProbeFailed()
-		w.idleSweep()
+		if w.idleSweep() {
+			return item{}, false
+		}
 	}
 	return item{}, false
 }
@@ -862,7 +961,7 @@ func (w *worker) huntHier() (item, bool) {
 	if sockN >= len(e.workers) {
 		sockN = 1
 	}
-	for !e.done.Load() {
+	for !w.bail() {
 		if sockN > 1 && p.Colored {
 			// Tier 1: own color among socket peers.
 			for i := 0; i < p.OwnColorStealAttempts; i++ {
@@ -952,7 +1051,9 @@ func (w *worker) huntHier() (item, bool) {
 			}
 		}
 		w.noteProbeFailed()
-		w.idleSweep()
+		if w.idleSweep() {
+			return item{}, false
+		}
 	}
 	return item{}, false
 }

@@ -36,6 +36,107 @@ func BenchmarkExecuteReuse(b *testing.B) {
 	}
 }
 
+// fanInSpecPre is flatFanInSpec with a precomputed predecessor slice, so
+// a benchmark's per-graph allocation count isolates the engine's own
+// admission/completion bookkeeping from spec-side allocation.
+func fanInSpecPre(n int) FuncSpec {
+	ps := make([]Key, n)
+	for i := range ps {
+		ps[i] = Key(i)
+	}
+	return FuncSpec{
+		PredsFn: func(k Key) []Key {
+			if k != Key(n) {
+				return nil
+			}
+			return ps
+		},
+		ColorFn:   func(Key) int { return 0 },
+		ComputeFn: func(Key) {},
+		BoundFn:   func() int { return n + 1 },
+	}
+}
+
+// BenchmarkSubmitThroughput measures the per-graph cost of the
+// Submit/Wait path: one small graph admitted, seeded, computed, and
+// completed per iteration. CI's bench-smoke job hard-gates its allocs/op
+// at a small constant — the steady state allocates only the per-graph
+// run bookkeeping (graphRun, completion channel, Stats), never tables or
+// deques. A single worker and sequential submissions keep the number
+// deterministic enough to gate tightly.
+func BenchmarkSubmitThroughput(b *testing.B) {
+	const n = 32
+	spec := fanInSpecPre(n)
+	e, err := NewEngine(spec, Options{Workers: 1, Policy: NabbitCPolicy()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	for r := 0; r < 2; r++ {
+		tk, err := e.Submit(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := e.Submit(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := tk.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.NodesCreated != n+1 {
+			b.Fatalf("NodesCreated = %d, want %d", st.NodesCreated, n+1)
+		}
+	}
+}
+
+// BenchmarkSubmitBurst is the multi-tenant contrast row: a sliding
+// window of 64 in-flight cone graphs on 4 workers — graphs/sec under
+// genuine concurrency. Wall-clock only; not alloc-gated (parallel
+// completion order perturbs pool-append amortization).
+func BenchmarkSubmitBurst(b *testing.B) {
+	const graphs, width, workers, window = 64, 16, 4, 64
+	spec := coneSpec(graphs, width, workers, nil)
+	e, err := NewEngine(spec, Options{
+		Workers: workers, Policy: NabbitCPolicy(), MaxInflight: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	pending := make([]*Ticket, 0, window)
+	for i := 0; i < b.N; i++ {
+		tk, err := e.Submit(coneSink(i%graphs, width))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending = append(pending, tk)
+		if len(pending) == window {
+			for _, tk := range pending {
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+	for _, tk := range pending {
+		if _, err := tk.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunFresh is the contrast row: the same graph through the
 // single-use Run wrapper, paying engine construction (goroutines, deques,
 // arena) every iteration.

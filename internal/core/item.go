@@ -41,8 +41,12 @@ func (g group) size() int {
 
 // item is a deque entry: a reified spawn_colors/spawn_nodes continuation.
 // When groups is nil the item holds exactly the inline single group
-// (possibly empty, for the zero item).
+// (possibly empty, for the zero item). run identifies the graph the
+// continuation belongs to — with many graphs in flight, workers
+// interleave items of different runs in one deque, and the run pointer
+// carries each item's node table and completion state along with it.
 type item struct {
+	run    *graphRun
 	owner  *Node // non-nil for predecessor work
 	single group // inline one-group form, authoritative when groups == nil
 	groups []group

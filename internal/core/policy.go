@@ -168,6 +168,30 @@ func (b NodeTableBackend) String() string {
 // sharded map unless NodeTableDense is forced explicitly.
 const DenseAutoMaxKeys = 1 << 21
 
+// AdmissionPolicy selects what Submit does when MaxInflight graphs are
+// already in flight.
+type AdmissionPolicy int
+
+const (
+	// AdmissionBlock (the default) blocks Submit until an in-flight
+	// graph completes and frees a slot (or the engine closes).
+	AdmissionBlock AdmissionPolicy = iota
+	// AdmissionReject makes Submit fail fast with ErrSaturated.
+	AdmissionReject
+)
+
+// String names the admission policy.
+func (a AdmissionPolicy) String() string {
+	switch a {
+	case AdmissionBlock:
+		return "block"
+	case AdmissionReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("admission(%d)", int(a))
+	}
+}
+
 // Options configures a run of the real parallel engine.
 type Options struct {
 	// Workers is the number of scheduler workers (the paper's P). Each
@@ -192,11 +216,26 @@ type Options struct {
 	// NodeTable selects the node-store backend (default NodeTableAuto:
 	// dense arena for bounded specs, sharded map otherwise).
 	NodeTable NodeTableBackend
+	// MaxInflight bounds how many admitted graphs may be in flight at
+	// once (Submit tickets not yet completed, plus any Execute in
+	// progress). Admission beyond the bound blocks or rejects per
+	// Admission. Defaults to 4 × Workers.
+	MaxInflight int
+	// Admission selects Submit's behavior at the MaxInflight bound:
+	// AdmissionBlock (default) waits for a slot, AdmissionReject fails
+	// fast with ErrSaturated. Execute always blocks.
+	Admission AdmissionPolicy
 }
 
 func (o Options) withDefaults() (Options, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * o.Workers
+	}
+	if o.Admission != AdmissionBlock && o.Admission != AdmissionReject {
+		return o, fmt.Errorf("core: unknown admission policy %v", o.Admission)
 	}
 	if o.Topology == (numa.Topology{}) {
 		o.Topology = numa.Paper(o.Workers)

@@ -76,7 +76,13 @@ type WorkerStats struct {
 
 // Stats aggregates a completed run.
 type Stats struct {
+	// GraphID is the engine-unique id of the run's graph (assigned at
+	// admission, for both Execute and Submit).
+	GraphID uint64
 	// Workers holds per-worker counters, indexed by worker id (= color).
+	// Execute populates it; Submit-mode stats leave it nil, because
+	// workers interleave many in-flight graphs and per-worker activity
+	// cannot be attributed to one submission.
 	Workers []WorkerStats
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrSaturated is returned by Submit under Options.AdmissionReject when
+// Options.MaxInflight graphs are already in flight.
+var ErrSaturated = errors.New("core: engine saturated (MaxInflight graphs in flight)")
+
+// graphRun is the per-graph run state: one admitted task graph, its
+// private node-table instance, and its completion cell. Generalizing the
+// single-run engine state to a per-graph object is what lets many graphs
+// share the worker pool — their deque items carry the owning graphRun,
+// so a worker can interleave items of different graphs freely.
+type graphRun struct {
+	id   uint64
+	sink Key
+	// nt is this graph's node table, checked out of the engine's pool
+	// at admission and returned when the sink computes (or the run is
+	// failed). Tables are never shared between in-flight graphs, so the
+	// per-table epoch reset needs no cross-graph coordination.
+	nt    nodeTable
+	start time.Time
+	// done is closed exactly once, after stats/err are final.
+	done  chan struct{}
+	stats *Stats
+	err   error
+}
+
+// Ticket is a handle to a submitted graph.
+type Ticket struct {
+	r *graphRun
+}
+
+// Wait blocks until the graph completes and returns its stats. The
+// per-worker counters (Stats.Workers) are nil: workers interleave many
+// graphs, so per-worker activity cannot be attributed to one submission —
+// use Execute for a fully attributed run. Wait may be called any number
+// of times, from any goroutine.
+func (t *Ticket) Wait() (*Stats, error) {
+	<-t.r.done
+	return t.r.stats, t.r.err
+}
+
+// Done returns a channel closed when the graph completes, for callers
+// multiplexing many tickets with select.
+func (t *Ticket) Done() <-chan struct{} {
+	return t.r.done
+}
+
+// Submit admits the task graph whose completion is marked by the sink
+// task and returns immediately with a Ticket; workers compute the graph
+// concurrently with any other in-flight submissions. Admission is
+// bounded by Options.MaxInflight: when the bound is reached, Submit
+// blocks until a slot frees (Options.AdmissionBlock, the default) or
+// fails fast with ErrSaturated (Options.AdmissionReject). A graph whose
+// sink can never compute (cycle, unsatisfiable predecessor) fails its
+// Ticket with an error once the pool has provably stalled, leaving the
+// engine reusable.
+func (e *Engine) Submit(sink Key) (*Ticket, error) {
+	if e.closing.Load() {
+		return nil, fmt.Errorf("core: Submit on a closed engine")
+	}
+	if e.opts.Admission == AdmissionReject {
+		select {
+		case e.slots <- struct{}{}:
+		default:
+			return nil, ErrSaturated
+		}
+	} else {
+		select {
+		case e.slots <- struct{}{}:
+		case <-e.closedCh:
+			return nil, fmt.Errorf("core: Submit on a closed engine")
+		}
+	}
+	r := &graphRun{id: e.nextID.Add(1), sink: sink, done: make(chan struct{})}
+	e.stateMu.Lock()
+	if e.closing.Load() {
+		// Close won the race after our slot acquire; its drain loop may
+		// already have seen an idle engine, so this graph must not run.
+		e.stateMu.Unlock()
+		<-e.slots
+		return nil, fmt.Errorf("core: Submit on a closed engine")
+	}
+	e.admitLocked(r)
+	e.stateMu.Unlock()
+	e.wakeOne()
+	return &Ticket{r: r}, nil
+}
+
+// admitLocked registers an admitted graph (caller holds stateMu and the
+// graph's admission slot): check out a node table, enter the run
+// registry, and enqueue the graph for seeding. Registering and enqueuing
+// in one critical section means the stall sweep can never observe a
+// registered graph that is invisible to the workers.
+func (e *Engine) admitLocked(r *graphRun) {
+	r.nt = e.checkoutTableLocked()
+	e.runs = append(e.runs, r)
+	e.active.Add(1)
+	r.start = time.Now()
+	// pending has MaxInflight capacity and every pending graph holds an
+	// admission slot, so this send cannot block.
+	e.pending <- r
+}
+
+// checkoutTableLocked pops an idle node-table instance from the pool
+// (resetting it to forget its previous graph) or builds a new one when
+// every instance is in use. Pool capacity converges to the peak
+// in-flight graph count, bounded by MaxInflight.
+func (e *Engine) checkoutTableLocked() nodeTable {
+	if n := len(e.tables); n > 0 {
+		nt := e.tables[n-1]
+		e.tables[n-1] = nil
+		e.tables = e.tables[:n-1]
+		nt.reset()
+		return nt
+	}
+	return e.buildTable()
+}
+
+// finishRun completes a graph whose sink just computed, called by the
+// computing worker. At this instant no items of the graph remain in any
+// deque (every live item would feed an unresolved join below the sink,
+// contradicting the sink having computed) and no other worker holds a
+// reference into the graph's nodes, so its table can be returned to the
+// pool immediately.
+func (e *Engine) finishRun(r *graphRun) {
+	r.stats = &Stats{
+		GraphID:      r.id,
+		Elapsed:      time.Since(r.start),
+		NodesCreated: r.nt.count(),
+		NodeBackend:  e.backend,
+		Topology:     e.opts.Topology,
+	}
+	e.stateMu.Lock()
+	e.tables = append(e.tables, r.nt)
+	e.removeRunLocked(r)
+	e.stateMu.Unlock()
+	<-e.slots
+	close(r.done)
+}
+
+// removeRunLocked drops r from the run registry (caller holds stateMu).
+func (e *Engine) removeRunLocked(r *graphRun) {
+	for i, q := range e.runs {
+		if q == r {
+			last := len(e.runs) - 1
+			e.runs[i] = e.runs[last]
+			e.runs[last] = nil
+			e.runs = e.runs[:last]
+			e.active.Add(-1)
+			return
+		}
+	}
+	panic("core: finished graph not in run registry")
+}
+
+// failStalled is the stall sweep: called by a worker whose park
+// announcement made the whole pool parked while graphs were still
+// registered. With every worker parked, nothing pending, no wake token
+// in flight (the waker-side parked decrement guarantees parked == P
+// implies none), and every deque empty, no registered graph can ever
+// make progress — their sinks are unreachable (a cycle, an unsatisfiable
+// predecessor). Each is failed with an error and its table reclaimed, so
+// the engine stays usable. All conditions are re-verified under stateMu:
+// a racing admission either registered before the sweep locked (and is
+// visible in pending) or after (and misses the sweep entirely).
+func (e *Engine) failStalled() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.active.Load() == 0 || len(e.pending) != 0 || e.closeFlag.Load() ||
+		e.parked.Load() != int32(len(e.workers)) || e.anyWork() {
+		return
+	}
+	for i, r := range e.runs {
+		r.err = fmt.Errorf("core: run ended without computing sink %d", r.sink)
+		e.tables = append(e.tables, r.nt)
+		e.runs[i] = nil
+		e.active.Add(-1)
+		<-e.slots
+		close(r.done)
+	}
+	e.runs = e.runs[:0]
+}

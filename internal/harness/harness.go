@@ -124,6 +124,7 @@ var experiments = []struct {
 	{"alloc", allocReport},
 	{"arena", arenaReport},
 	{"persist", persistReport},
+	{"submit", submitReport},
 }
 
 // Experiments lists the runnable experiment names.

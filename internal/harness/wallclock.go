@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"nabbitc/internal/bench"
@@ -164,8 +166,100 @@ func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
 		if pt != nil {
 			rep.AddTable(pt)
 		}
+		st, err := wallclockSubmitTable(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddTable(st)
 	}
 	return rep, nil
+}
+
+// wallclockSubmitTable is the multi-tenant throughput experiment: a
+// swarm of caller goroutines pushes a fixed population of small disjoint
+// cone graphs through one persistent engine via Submit/Wait, swept over
+// MaxInflight. Each caller times its own graph from the moment Submit is
+// offered to Wait's return, so admission queueing (blocking policy) is
+// part of completion latency. graphs/sec comes from the best repeat's
+// wall clock; p50/p99 from the latency distribution of that repeat. The
+// saturation sweep shows where fairness breaks: as MaxInflight rises
+// past the worker count, throughput plateaus while p99 — and the
+// p99/p50 tail ratio — keeps growing, because workers interleave more
+// graphs and each one's sink waits longer. Past that, throughput
+// collapses outright: every in-flight graph holds its own node-table
+// instance sized for the full key universe, so extreme tenancy pays a
+// table-checkout footprint (arena construction, GC pressure, cache
+// thrash) that dwarfs the graphs themselves — the table quantifies why
+// MaxInflight defaults to a small multiple of the worker count.
+func wallclockSubmitTable(cfg WallclockConfig) (*perf.Table, error) {
+	const graphs, width = 1024, 16
+	t := perf.NewTable("wallclock/submit",
+		fmt.Sprintf("Wall clock: Submit/Wait throughput, %d cone graphs (width %d) on %d workers, best of %d runs",
+			graphs, width, cfg.Workers, cfg.Repeats),
+		"max_inflight",
+		perf.M("graphs_per_sec", "1/s", perf.HigherIsBetter),
+		perf.M("p50_us", "us", perf.LowerIsBetter),
+		perf.M("p99_us", "us", perf.LowerIsBetter),
+		perf.M("p99_over_p50", "x", perf.LowerIsBetter),
+		perf.M("wall_ns_min", "ns", perf.LowerIsBetter))
+	pol := applySeed(core.NabbitCPolicy(), cfg.Seed)
+	for _, inflight := range []int{1, 8, 32, 128} {
+		spec := submitConeSpec(graphs, width, cfg.Workers, nil)
+		var wallMin int64
+		var lat []time.Duration
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			e, err := core.NewEngine(spec, core.Options{
+				Workers: cfg.Workers, Policy: pol, MaxInflight: inflight,
+			})
+			if err != nil {
+				return nil, err
+			}
+			repLat := make([]time.Duration, graphs)
+			errs := make([]error, graphs)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < graphs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					t0 := time.Now()
+					tk, err := e.Submit(submitConeSink(g, width))
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					_, errs[g] = tk.Wait()
+					repLat[g] = time.Since(t0)
+				}(g)
+			}
+			wg.Wait()
+			wall := time.Since(start).Nanoseconds()
+			e.Close()
+			for g, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("wallclock submit inflight=%d graph %d: %w", inflight, g, err)
+				}
+			}
+			if rep == 0 || wall < wallMin {
+				wallMin, lat = wall, repLat
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50 := float64(lat[graphs/2].Microseconds())
+		p99 := float64(lat[graphs*99/100].Microseconds())
+		ratio := 0.0
+		if p50 > 0 {
+			ratio = p99 / p50
+		}
+		t.AddRow(itoa(inflight), map[string]float64{
+			"graphs_per_sec": float64(graphs) / (float64(wallMin) / 1e9),
+			"p50_us":         p50,
+			"p99_us":         p99,
+			"p99_over_p50":   ratio,
+			"wall_ns_min":    float64(wallMin),
+		})
+	}
+	return t, nil
 }
 
 // wallclockPersistTable times the iterative benchmarks both ways: one
