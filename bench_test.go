@@ -9,6 +9,8 @@ package nabbitc
 
 import (
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nabbitc/internal/bench"
@@ -216,11 +218,11 @@ func BenchmarkRealHeatNabbitCHier(b *testing.B) {
 // capacity of 64, so the bound-derived size — not the old default — is
 // what the assertion exercises (the clamp policy itself is pinned by
 // core's TestDequeCapacitySizing).
-func sizedHeatRun(fatalf func(format string, args ...any), chaselev bool) {
+func sizedHeatRun(fatalf func(format string, args ...any), dq core.DequeBackend) {
 	r := stencil.Heat(bench.ScaleSmall).NewReal()
 	spec, sink := r.Spec(2)
 	pol := core.NabbitCPolicy()
-	pol.UseChaseLev = chaselev
+	pol.Deque = dq
 	st, err := core.Run(spec, sink, core.Options{Workers: 2, Policy: pol})
 	if err != nil {
 		fatalf("%v", err)
@@ -237,24 +239,18 @@ func sizedHeatRun(fatalf func(format string, args ...any), chaselev bool) {
 // TestRealHeatDequeSizing runs the pin under plain `go test` so the
 // regression actually gates CI (benchmarks only run when asked for).
 func TestRealHeatDequeSizing(t *testing.T) {
-	for _, impl := range []struct {
-		name string
-		cl   bool
-	}{{"mutex", false}, {"chaselev", true}} {
-		t.Run(impl.name, func(t *testing.T) { sizedHeatRun(t.Fatalf, impl.cl) })
+	for _, dq := range []core.DequeBackend{core.DequeMutex, core.DequeChaseLev, core.DequeBlock} {
+		t.Run(dq.String(), func(t *testing.T) { sizedHeatRun(t.Fatalf, dq) })
 	}
 }
 
 // BenchmarkRealHeatDequeSizing times the same sized run.
 func BenchmarkRealHeatDequeSizing(b *testing.B) {
-	for _, impl := range []struct {
-		name string
-		cl   bool
-	}{{"mutex", false}, {"chaselev", true}} {
-		b.Run(impl.name, func(b *testing.B) {
+	for _, dq := range []core.DequeBackend{core.DequeMutex, core.DequeChaseLev, core.DequeBlock} {
+		b.Run(dq.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sizedHeatRun(b.Fatalf, impl.cl)
+				sizedHeatRun(b.Fatalf, dq)
 			}
 		})
 	}
@@ -323,12 +319,74 @@ func BenchmarkEngineOverheadPerTask(b *testing.B) {
 }
 
 // BenchmarkPushPopSteal measures the scheduler's hottest cycle — owner
-// push, owner pop, colored steal — on both deque substrates. Steady-state
-// expectation, gated by CI's bench-smoke job: exactly 0 allocs/op for
-// both substrates (color capacities up to colorset.InlineColors, i.e. any
-// run at <=128 workers). The entry masks are inline colorset values and
-// the Chase–Lev slots store entries unboxed, so nothing on this path
-// touches the heap after the deque reaches its steady-state capacity.
+// push, owner pop, colored steal — on all three deque substrates.
+// Steady-state expectation, gated by CI's bench-smoke job (via
+// scripts/benchgate.sh): exactly 0 allocs/op for every substrate (color
+// capacities up to colorset.InlineColors, i.e. any run at <=128
+// workers). The entry masks are inline colorset values, the Chase–Lev
+// slots store entries unboxed, and the block deque recycles blocks
+// through its free list, so nothing on this path touches the heap after
+// each deque reaches its steady-state capacity.
+// BenchmarkStealThroughput drains a pre-filled deque with 8 concurrent
+// thieves doing batched steals and reports items stolen per second plus
+// claim CASes per stolen item. This is the single-CAS batch-steal
+// headline: the block substrate claims whole sealed blocks, so its
+// cas/item collapses toward 1/32 while the per-item substrates stay at
+// >= 1. CI's bench-smoke job records the numbers in the job summary on
+// every PR (advisory, not gated — wall-clock noise).
+func BenchmarkStealThroughput(b *testing.B) {
+	type casCounter interface{ StealCASes() int64 }
+	impls := []struct {
+		name string
+		mk   func(hint int) deque.Queue[int]
+	}{
+		{"mutex", func(hint int) deque.Queue[int] { return deque.NewMutex[int](hint) }},
+		{"chaselev", func(hint int) deque.Queue[int] { return deque.NewChaseLev[int](hint) }},
+		{"block", func(hint int) deque.Queue[int] { return deque.NewBlock[int](hint) }},
+	}
+	const thieves = 8
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			q := impl.mk(b.N)
+			for i := 0; i < b.N; i++ {
+				q.PushBottom(deque.Entry[int]{Value: i, Colors: colorset.Of(80, i%80)})
+			}
+			var casBase int64
+			if c, ok := q.(casCounter); ok {
+				casBase = c.StealCASes()
+			}
+			var stolen atomic.Int64
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for t := 0; t < thieves; t++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						batch, out := q.StealHalf(0)
+						switch out {
+						case deque.StealOK:
+							stolen.Add(int64(len(batch)))
+						case deque.StealEmpty:
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if got := stolen.Load(); got != int64(b.N) {
+				b.Fatalf("stole %d items, want %d", got, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steals/s")
+			if c, ok := q.(casCounter); ok {
+				b.ReportMetric(float64(c.StealCASes()-casBase)/float64(b.N), "cas/item")
+			}
+		})
+	}
+}
+
 func BenchmarkPushPopSteal(b *testing.B) {
 	impls := []struct {
 		name string
@@ -336,6 +394,7 @@ func BenchmarkPushPopSteal(b *testing.B) {
 	}{
 		{"mutex", func() deque.Queue[int] { return deque.NewMutex[int](64) }},
 		{"chaselev", func() deque.Queue[int] { return deque.NewChaseLev[int](64) }},
+		{"block", func() deque.Queue[int] { return deque.NewBlock[int](64) }},
 	}
 	for _, impl := range impls {
 		b.Run(impl.name, func(b *testing.B) {

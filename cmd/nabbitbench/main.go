@@ -44,6 +44,7 @@ import (
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/core"
 	"nabbitc/internal/harness"
 	"nabbitc/internal/perf"
 )
@@ -189,6 +190,8 @@ func runExperiments(args []string) int {
 		fmt.Sprintf("output format: %s (default table)", strings.Join(harness.Formats(), ", ")))
 	csv := fs.Bool("csv", false, "emit CSV (deprecated: use -format csv)")
 	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
+	dequeFlag := fs.String("deque", "auto",
+		"deque backend override: auto, mutex, chaselev, or block (auto = per-policy resolution)")
 	iterations := fs.Int("iterations", 0,
 		"engine-reuse iterations for the persist experiment (0 = default 4)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
@@ -206,13 +209,19 @@ func runExperiments(args []string) int {
 	if err := checkSeed(*seed); err != nil {
 		return fail(2, "%v", err)
 	}
+	dq, err := core.ParseDequeBackend(*dequeFlag)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
 	if err := checkIterations(*iterations); err != nil {
 		return fail(2, "%v", err)
 	}
 	if err := checkOutPath(*out); err != nil {
 		return fail(2, "%v", err)
 	}
-	cfg := harness.Config{CSV: *csv, Format: *format, Seed: uint64(*seed), Iterations: *iterations}
+	cfg := harness.Config{
+		CSV: *csv, Format: *format, Seed: uint64(*seed), Deque: dq, Iterations: *iterations,
+	}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return fail(2, "%v", err)
@@ -334,6 +343,8 @@ func runBench(args []string) int {
 	workers := fs.Int("workers", 0, "host workers (default min(8, NumCPU))")
 	repeats := fs.Int("repeats", 3, "runs per configuration; min wall time is reported")
 	seed := fs.Int64("seed", 0, "scheduling seed override (0 = policy default)")
+	dequeFlag := fs.String("deque", "auto",
+		"deque backend override: auto, mutex, chaselev, or block (auto = per-policy resolution)")
 	iterations := fs.Int("iterations", 0,
 		"engine-reuse iterations for the persist rows (0 = default 8, negative disables)")
 	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
@@ -349,6 +360,10 @@ func runBench(args []string) int {
 	if err := checkSeed(*seed); err != nil {
 		return fail(2, "%v", err)
 	}
+	dq, err := core.ParseDequeBackend(*dequeFlag)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
 	if *iterations > 0 {
 		if err := checkIterations(*iterations); err != nil {
 			return fail(2, "%v", err)
@@ -359,7 +374,7 @@ func runBench(args []string) int {
 	}
 	cfg := harness.WallclockConfig{
 		Workers: *workers, Repeats: *repeats, Revision: *rev,
-		Seed: uint64(*seed), Iterations: *iterations,
+		Seed: uint64(*seed), Deque: dq, Iterations: *iterations,
 	}
 	sc, err := parseScale(*scale)
 	if err != nil {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -deque flag must be validated before any workload runs, in both the
+// experiment and bench modes: an unknown backend is a usage error (exit
+// 2), never a fallback to some default substrate.
+func TestDequeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string) int
+		args []string
+		want int
+	}{
+		{"experiments/bogus", runExperiments, []string{"-deque", "bogus"}, 2},
+		{"experiments/empty", runExperiments, []string{"-deque", ""}, 2},
+		{"bench/bogus", runBench, []string{"-deque", "bogus"}, 2},
+		{"bench/casing", runBench, []string{"-deque", "ChaseLev"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.run(tc.args); got != tc.want {
+				t.Fatalf("%v: exit %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// A valid -deque value must reach the harness: the steal experiment runs
+// to completion (exit 0) and emits parseable output under every backend
+// name the flag documents.
+func TestDequeFlagAccepted(t *testing.T) {
+	for _, dq := range []string{"auto", "mutex", "chaselev", "block"} {
+		t.Run(dq, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "steal.json")
+			args := []string{
+				"-experiment", "steal", "-scale", "small",
+				"-deque", dq, "-format", "json", "-out", out,
+			}
+			if got := runExperiments(args); got != 0 {
+				t.Fatalf("%v: exit %d, want 0", args, got)
+			}
+			if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+				t.Fatalf("%v: no output written (err=%v)", args, err)
+			}
+		})
+	}
+}

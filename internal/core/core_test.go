@@ -251,6 +251,24 @@ func TestChaseLevEngine(t *testing.T) {
 	}
 }
 
+func TestBlockDequeEngine(t *testing.T) {
+	for _, colored := range []bool{false, true} {
+		rec := newRecorder()
+		spec, sink, keys := layeredDAG(10, 40, rec, func(k Key) int { return int(k) % 8 })
+		p := NabbitCPolicy()
+		p.Colored = colored
+		p.Deque = DequeBlock
+		st, err := Run(spec, sink, Options{Workers: 8, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DequeBackend != "block" {
+			t.Fatalf("stats report deque %q, want block", st.DequeBackend)
+		}
+		rec.verify(t, spec, keys)
+	}
+}
+
 func TestStatsAccounting(t *testing.T) {
 	rec := newRecorder()
 	spec, sink, keys := layeredDAG(8, 32, rec, func(k Key) int { return int(k) % 4 })

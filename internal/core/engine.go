@@ -39,7 +39,10 @@ type Engine struct {
 	opts    Options
 	dense   bool   // resolved node-table backend
 	backend string // its Stats name
-	workers []*worker
+	// dequeBackend is the resolved worker-deque substrate (see
+	// ResolveDeque); workers are built on it once and reuse it forever.
+	dequeBackend DequeBackend
+	workers      []*worker
 
 	// slots is the admission semaphore: one token per in-flight graph,
 	// capacity Options.MaxInflight. pending is the FIFO hand-off of
@@ -237,12 +240,16 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	e.tables = []nodeTable{e.buildTable()}
 	p := opts.Policy
 	dqCap := dequeCapacity(KeyBoundOf(spec), opts.Workers)
+	e.dequeBackend = ResolveDeque(p)
 	e.workers = make([]*worker, opts.Workers)
 	for i := range e.workers {
 		var dq deque.Queue[item]
-		if p.UseChaseLev {
+		switch e.dequeBackend {
+		case DequeChaseLev:
 			dq = deque.NewChaseLev[item](dqCap)
-		} else {
+		case DequeBlock:
+			dq = deque.NewBlock[item](dqCap)
+		default:
 			dq = deque.NewMutex[item](dqCap)
 		}
 		dq.SetWake(e.noteWork)

@@ -34,17 +34,17 @@ func flatFanInSpec(n, workers int, compute func(Key)) FuncSpec {
 }
 
 // TestEngineReuse pins the tentpole property: one engine executes many
-// runs, each run re-exploring the whole graph exactly once, on both deque
-// substrates and both node-table backends.
+// runs, each run re-exploring the whole graph exactly once, on all three
+// deque substrates and both node-table backends.
 func TestEngineReuse(t *testing.T) {
 	const n, workers, runs = 256, 8, 10
-	for _, cl := range []bool{false, true} {
+	for _, dq := range []DequeBackend{DequeMutex, DequeChaseLev, DequeBlock} {
 		for _, backend := range []NodeTableBackend{NodeTableDense, NodeTableSharded} {
-			t.Run(fmt.Sprintf("chaselev=%v/%v", cl, backend), func(t *testing.T) {
+			t.Run(fmt.Sprintf("%v/%v", dq, backend), func(t *testing.T) {
 				rec := newRecorder()
 				spec := flatFanInSpec(n, workers, rec.record)
 				pol := NabbitCPolicy()
-				pol.UseChaseLev = cl
+				pol.Deque = dq
 				e, err := NewEngine(spec, Options{Workers: workers, Policy: pol, NodeTable: backend})
 				if err != nil {
 					t.Fatal(err)
@@ -279,10 +279,10 @@ func TestParkWakeStress(t *testing.T) {
 			}
 		},
 	}
-	for _, cl := range []bool{false, true} {
-		t.Run(fmt.Sprintf("chaselev=%v", cl), func(t *testing.T) {
+	for _, dq := range []DequeBackend{DequeMutex, DequeChaseLev, DequeBlock} {
+		t.Run(dq.String(), func(t *testing.T) {
 			pol := NabbitCPolicy()
-			pol.UseChaseLev = cl
+			pol.Deque = dq
 			e, err := NewEngine(spec, Options{Workers: workers, Policy: pol})
 			if err != nil {
 				t.Fatal(err)

@@ -28,8 +28,15 @@ type Policy struct {
 	// an invalid coloring (Table III) would spin forever.
 	FirstStealMaxRounds int
 	// UseChaseLev selects the lock-free Chase–Lev deque instead of the
-	// default mutex deque (deque-substrate ablation).
+	// default mutex deque (deque-substrate ablation). Deque, when set,
+	// takes precedence; UseChaseLev remains as the legacy two-substrate
+	// toggle.
 	UseChaseLev bool
+	// Deque selects the worker deque substrate explicitly (see
+	// DequeBackend); DequeAuto defers to UseChaseLev, then to the
+	// policy-based default (block for hierarchical policies, mutex
+	// otherwise — see ResolveDeque).
+	Deque DequeBackend
 	// Seed drives victim selection; runs with equal seeds and worker
 	// counts make identical scheduling decisions in the simulator.
 	Seed uint64
@@ -131,6 +138,69 @@ func (p Policy) WithDefaults() Policy {
 		p.Seed = 1
 	}
 	return p
+}
+
+// DequeBackend selects the worker deque substrate.
+type DequeBackend int
+
+const (
+	// DequeAuto defers to Policy.UseChaseLev when set, otherwise picks
+	// the block deque for hierarchical policies (their batched
+	// cross-socket steals are what its single-CAS whole-block claims
+	// amortize) and the mutex deque for flat ones.
+	DequeAuto DequeBackend = iota
+	// DequeMutex forces the lock-based ring deque.
+	DequeMutex
+	// DequeChaseLev forces the lock-free Chase–Lev deque.
+	DequeChaseLev
+	// DequeBlock forces the block-structured deque (single-CAS batch
+	// steals; steal victim order may legally differ from the per-item
+	// substrates — see the deque package's design note).
+	DequeBlock
+)
+
+// String names the backend.
+func (b DequeBackend) String() string {
+	switch b {
+	case DequeAuto:
+		return "auto"
+	case DequeMutex:
+		return "mutex"
+	case DequeChaseLev:
+		return "chaselev"
+	case DequeBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("deque(%d)", int(b))
+	}
+}
+
+// ParseDequeBackend maps a substrate name ("auto", "mutex", "chaselev",
+// "block") to its DequeBackend, for CLI flags.
+func ParseDequeBackend(s string) (DequeBackend, error) {
+	for _, b := range []DequeBackend{DequeAuto, DequeMutex, DequeChaseLev, DequeBlock} {
+		if s == b.String() {
+			return b, nil
+		}
+	}
+	return DequeAuto, fmt.Errorf("core: unknown deque backend %q (want auto, mutex, chaselev, or block)", s)
+}
+
+// ResolveDeque resolves a policy's deque choice to a concrete substrate:
+// an explicit Policy.Deque wins, then the legacy UseChaseLev toggle, then
+// the policy-shaped default (block for hierarchical policies, mutex
+// otherwise).
+func ResolveDeque(p Policy) DequeBackend {
+	if p.Deque != DequeAuto {
+		return p.Deque
+	}
+	if p.UseChaseLev {
+		return DequeChaseLev
+	}
+	if p.Hierarchical {
+		return DequeBlock
+	}
+	return DequeMutex
 }
 
 // NodeTableBackend selects the engine's key → node store (see doc.go's
@@ -236,6 +306,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Admission != AdmissionBlock && o.Admission != AdmissionReject {
 		return o, fmt.Errorf("core: unknown admission policy %v", o.Admission)
+	}
+	if o.Policy.Deque < DequeAuto || o.Policy.Deque > DequeBlock {
+		return o, fmt.Errorf("core: unknown deque backend %v", o.Policy.Deque)
 	}
 	if o.Topology == (numa.Topology{}) {
 		o.Topology = numa.Paper(o.Workers)

@@ -151,11 +151,42 @@ func TestQuickRandomDAGsChaseLev(t *testing.T) {
 	}
 }
 
-// Property: the two deque substrates are interchangeable. For any random
-// DAG and policy — flat or hierarchical — runs with UseChaseLev on and off
-// compute the same task set (every reachable task exactly once, in
-// dependence order) and report identical NodesExecuted totals.
+// Property: the block-deque-backed engine satisfies the same contract.
+func TestQuickRandomDAGsBlock(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec, sink, _, rec := randomDAG(seed, 5, 10, 6)
+		keys := reachable(spec, sink)
+		pol := NabbitCPolicy()
+		pol.Deque = DequeBlock
+		pol.FirstStealMaxRounds = 2
+		st, err := Run(spec, sink, Options{Workers: 6, Policy: pol})
+		if err != nil || int(st.TotalNodes()) != len(keys) {
+			return false
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		for _, k := range keys {
+			if rec.count[k] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the three deque substrates are interchangeable. For any
+// random DAG and policy — flat or hierarchical — runs on the mutex,
+// Chase–Lev, and block deques compute the same task set (every reachable
+// task exactly once, in dependence order) and report identical
+// NodesExecuted totals. The property deliberately checks computed-sets
+// and per-substrate correctness, not byte-identical schedules: the block
+// deque's whole-block claims may legally reorder steal victims relative
+// to the per-item substrates.
 func TestQuickCrossSubstrateEquivalence(t *testing.T) {
+	backends := []DequeBackend{DequeMutex, DequeChaseLev, DequeBlock}
 	f := func(seed uint64, workersRaw uint8) bool {
 		workers := int(workersRaw)%7 + 2
 		var topo numa.Topology
@@ -172,45 +203,49 @@ func TestQuickCrossSubstrateEquivalence(t *testing.T) {
 		pol.FirstStealMaxRounds = 2
 		pol.Seed = seed + 3
 
-		var totals [2]int64
-		for i, chaselev := range []bool{false, true} {
+		totals := make([]int64, len(backends))
+		for i, backend := range backends {
 			spec, sink, _, rec := randomDAG(seed, 5, 10, workers)
 			keys := reachable(spec, sink)
 			p := pol
-			p.UseChaseLev = chaselev
+			p.Deque = backend
 			st, err := Run(spec, sink, Options{Workers: workers, Policy: p, Topology: topo})
 			if err != nil {
-				t.Logf("seed %d chaselev=%v: %v", seed, chaselev, err)
+				t.Logf("seed %d deque=%v: %v", seed, backend, err)
+				return false
+			}
+			if st.DequeBackend != backend.String() {
+				t.Logf("seed %d: stats report deque %q, want %q", seed, st.DequeBackend, backend)
 				return false
 			}
 			totals[i] = st.TotalNodes()
 			if int(totals[i]) != len(keys) {
-				t.Logf("seed %d chaselev=%v: executed %d, want %d",
-					seed, chaselev, totals[i], len(keys))
+				t.Logf("seed %d deque=%v: executed %d, want %d",
+					seed, backend, totals[i], len(keys))
 				return false
 			}
 			rec.mu.Lock()
 			for _, k := range keys {
 				if rec.count[k] != 1 {
 					rec.mu.Unlock()
-					t.Logf("seed %d chaselev=%v: task %d executed %d times",
-						seed, chaselev, k, rec.count[k])
+					t.Logf("seed %d deque=%v: task %d executed %d times",
+						seed, backend, k, rec.count[k])
 					return false
 				}
 				for _, pk := range spec.Predecessors(k) {
 					if rec.seq[pk] > rec.seq[k] {
 						rec.mu.Unlock()
-						t.Logf("seed %d chaselev=%v: task %d before pred %d",
-							seed, chaselev, k, pk)
+						t.Logf("seed %d deque=%v: task %d before pred %d",
+							seed, backend, k, pk)
 						return false
 					}
 				}
 			}
 			rec.mu.Unlock()
-		}
-		if totals[0] != totals[1] {
-			t.Logf("seed %d: substrates computed %d vs %d nodes", seed, totals[0], totals[1])
-			return false
+			if totals[i] != totals[0] {
+				t.Logf("seed %d: substrates computed %d vs %d nodes", seed, totals[0], totals[i])
+				return false
+			}
 		}
 		return true
 	}
@@ -223,11 +258,11 @@ func TestQuickCrossSubstrateEquivalence(t *testing.T) {
 // topology with the ChaseLev substrate under heavy stealing pressure, and
 // its tier counters must reconcile with the aggregate steal counters.
 func TestHierRealEngineTierAccounting(t *testing.T) {
-	for _, chaselev := range []bool{false, true} {
+	for _, backend := range []DequeBackend{DequeMutex, DequeChaseLev, DequeBlock} {
 		rec := newRecorder()
 		spec, sink, keys := layeredDAG(10, 40, rec, func(k Key) int { return int(k) % 8 })
 		pol := NabbitCHierPolicy()
-		pol.UseChaseLev = chaselev
+		pol.Deque = backend
 		st, err := Run(spec, sink, Options{
 			Workers:  8,
 			Policy:   pol,
@@ -237,7 +272,7 @@ func TestHierRealEngineTierAccounting(t *testing.T) {
 			t.Fatal(err)
 		}
 		if int(st.TotalNodes()) != len(keys) {
-			t.Fatalf("chaselev=%v: executed %d, want %d", chaselev, st.TotalNodes(), len(keys))
+			t.Fatalf("deque=%v: executed %d, want %d", backend, st.TotalNodes(), len(keys))
 		}
 		at, ts := st.TierAttempts(), st.TierSteals()
 		var atSum, tsSum int64
@@ -245,17 +280,17 @@ func TestHierRealEngineTierAccounting(t *testing.T) {
 			atSum += at[tier]
 			tsSum += ts[tier]
 			if ts[tier] > at[tier] {
-				t.Fatalf("chaselev=%v tier %v: %d steals exceed %d attempts",
-					chaselev, tier, ts[tier], at[tier])
+				t.Fatalf("deque=%v tier %v: %d steals exceed %d attempts",
+					backend, tier, ts[tier], at[tier])
 			}
 		}
 		if atSum != st.StealAttempts() {
-			t.Fatalf("chaselev=%v: tier attempts %d != StealAttempts %d",
-				chaselev, atSum, st.StealAttempts())
+			t.Fatalf("deque=%v: tier attempts %d != StealAttempts %d",
+				backend, atSum, st.StealAttempts())
 		}
 		total, _ := st.SuccessfulSteals()
 		if tsSum != total {
-			t.Fatalf("chaselev=%v: tier steals %d != StealsOK %d", chaselev, tsSum, total)
+			t.Fatalf("deque=%v: tier steals %d != StealsOK %d", backend, tsSum, total)
 		}
 		rec.verify(t, spec, keys)
 	}

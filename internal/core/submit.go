@@ -134,6 +134,7 @@ func (e *Engine) finishRun(r *graphRun) {
 		Elapsed:      time.Since(r.start),
 		NodesCreated: r.nt.count(),
 		NodeBackend:  e.backend,
+		DequeBackend: e.dequeBackend.String(),
 		Topology:     e.opts.Topology,
 	}
 	e.stateMu.Lock()

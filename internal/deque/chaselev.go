@@ -63,22 +63,22 @@ type ChaseLev[T any] struct {
 	// detector sees the post-run read from another goroutine, so it is
 	// stored atomically anyway (off the hot path: only on grow).
 	grows atomic.Int64
+	// stealCASes counts thief-side claim CAS attempts (the contended
+	// instruction batched steals exist to amortize); see StealCASes.
+	stealCASes atomic.Int64
 	// wake is the post-push hook, set once before concurrent use and
 	// called only by the owner (inside PushBottom): no atomicity needed.
 	wake func()
 }
 
 // clSlot is one buffer cell. readers counts thieves between claim recheck
-// and copy-out. colorsLo/colorsHi shadow the entry's inline color words;
-// colorsBig is non-nil only for color sets too large to store inline
-// (capacity > colorset.InlineColors), where it points at an immutable copy
-// boxed at push time.
+// and copy-out. The embedded colorShadow mirrors the entry's color mask
+// in atomically readable words (see shadow.go) so colored gates can run
+// before the claim CAS.
 type clSlot[T any] struct {
-	readers   atomic.Int32
-	colorsLo  atomic.Uint64
-	colorsHi  atomic.Uint64
-	colorsBig atomic.Pointer[colorset.Set]
-	val       Entry[T]
+	readers atomic.Int32
+	shadow  colorShadow
+	val     Entry[T]
 }
 
 type clBuffer[T any] struct {
@@ -93,57 +93,6 @@ func newCLBuffer[T any](logSize uint) *clBuffer[T] {
 
 func (b *clBuffer[T]) slot(i int64) *clSlot[T] { return &b.slots[i&b.mask] }
 func (b *clBuffer[T]) size() int64             { return b.mask + 1 }
-
-// setColors installs the slot's atomically readable color shadow.
-// Sequentially consistent stores are the expensive instruction on the push
-// fast path (XCHG on amd64), so the high word and the spill pointer are
-// rewritten only when they would change — on <=64-color runs each push
-// pays exactly one shadow store.
-func (s *clSlot[T]) setColors(c colorset.Set) {
-	if lo, hi, ok := c.InlineWords(); ok {
-		s.colorsLo.Store(lo)
-		if hi != 0 || s.colorsHi.Load() != 0 {
-			s.colorsHi.Store(hi)
-		}
-		if s.colorsBig.Load() != nil {
-			s.colorsBig.Store(nil)
-		}
-	} else {
-		big := c // boxed copy escapes; only for >InlineColors capacities
-		s.colorsBig.Store(&big)
-	}
-}
-
-// shadowHas reports whether the slot's color shadow contains color. The
-// verdict may be stale; see the protocol comment.
-func (s *clSlot[T]) shadowHas(color int) bool {
-	if big := s.colorsBig.Load(); big != nil {
-		return big.Has(color)
-	}
-	if color < 0 || color >= colorset.InlineColors {
-		return false
-	}
-	if color < 64 {
-		return s.colorsLo.Load()&(1<<uint(color)) != 0
-	}
-	return s.colorsHi.Load()&(1<<uint(color-64)) != 0
-}
-
-// shadowIntersects reports whether the slot's color shadow intersects
-// mask. The verdict may be stale; see the protocol comment.
-func (s *clSlot[T]) shadowIntersects(mask colorset.Set) bool {
-	if big := s.colorsBig.Load(); big != nil {
-		return big.Intersects(mask)
-	}
-	lo, hi, ok := mask.InlineWords()
-	if !ok {
-		// Inline entry vs spilled mask: capacities differ by construction
-		// (both sides are sized to the worker count), so they share no
-		// colors the inline words could express.
-		return false
-	}
-	return s.colorsLo.Load()&lo|s.colorsHi.Load()&hi != 0
-}
 
 // NewChaseLev returns an empty lock-free deque.
 func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {
@@ -172,7 +121,7 @@ func (d *ChaseLev[T]) PushBottom(e Entry[T]) {
 		runtime.Gosched()
 	}
 	s.val = e
-	s.setColors(e.Colors)
+	s.shadow.set(e.Colors)
 	d.bottom.Store(b + 1)
 	// After the bottom bump: the item is already stealable.
 	if d.wake != nil {
@@ -195,9 +144,7 @@ func (d *ChaseLev[T]) grow(buf *clBuffer[T], t, b int64) *clBuffer[T] {
 		os := buf.slot(i)
 		ns := nb.slot(i)
 		ns.val = os.val
-		ns.colorsLo.Store(os.colorsLo.Load())
-		ns.colorsHi.Store(os.colorsHi.Load())
-		ns.colorsBig.Store(os.colorsBig.Load())
+		ns.shadow.copyFrom(&os.shadow)
 	}
 	d.buf.Store(nb)
 	d.grows.Add(1)
@@ -258,6 +205,7 @@ func (d *ChaseLev[T]) claim(s *clSlot[T], t int64) (Entry[T], StealOutcome) {
 		s.readers.Add(-1)
 		return zero, StealAbort
 	}
+	d.stealCASes.Add(1)
 	if !d.top.CompareAndSwap(t, t+1) {
 		s.readers.Add(-1)
 		return zero, StealAbort
@@ -290,7 +238,7 @@ func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 	}
 	buf := d.buf.Load()
 	s := buf.slot(t)
-	if !s.shadowHas(color) {
+	if !s.shadow.has(color) {
 		// Re-validate that the slot we inspected still serves the top
 		// index; if not, the miss verdict is stale and the caller should
 		// retry.
@@ -313,7 +261,7 @@ func (d *ChaseLev[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome)
 	}
 	buf := d.buf.Load()
 	s := buf.slot(t)
-	if !s.shadowIntersects(mask) {
+	if !s.shadow.intersects(mask) {
 		// Same stale-verdict re-validation as StealTopColored.
 		if d.top.Load() != t {
 			return zero, StealAbort
@@ -385,6 +333,12 @@ func (d *ChaseLev[T]) StealHalfColored(color int, max int) ([]Entry[T], StealOut
 
 // Grows returns how many times the circular buffer has grown.
 func (d *ChaseLev[T]) Grows() int64 { return d.grows.Load() }
+
+// StealCASes returns how many thief-side claim CAS attempts the deque has
+// absorbed — one per single-item claim, so CAS-per-stolen-item is exactly
+// 1 on this substrate (the structural tax the block deque's whole-block
+// claims remove). Advisory under concurrency.
+func (d *ChaseLev[T]) StealCASes() int64 { return d.stealCASes.Load() }
 
 // Len returns an advisory item count.
 func (d *ChaseLev[T]) Len() int {

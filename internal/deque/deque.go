@@ -74,13 +74,16 @@ type Queue[T any] interface {
 	// Hierarchical thieves pass their socket's color range so that any
 	// task homed in their socket qualifies, not just their own color.
 	StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome)
-	// StealHalf removes up to min(ceil(n/2), max) of the oldest items in
-	// one visit — the batched steal used on cross-socket victims to
-	// amortize remote-steal latency. The returned slice is oldest first
-	// and non-empty iff the outcome is StealOK. Implementations that
-	// cannot take several items atomically (Chase–Lev) may take them one
-	// CAS at a time under the single visit and return fewer than
-	// requested.
+	// StealHalf removes a batch of the oldest items in one visit — the
+	// batched steal used on cross-socket victims to amortize remote-steal
+	// latency. The baseline contract is up to min(ceil(n/2), max) items
+	// (max <= 0 means uncapped); the returned slice is oldest first and
+	// non-empty iff the outcome is StealOK. Implementations that cannot
+	// take several items atomically (Chase–Lev) may take them one CAS at
+	// a time under the single visit and return fewer than requested, and
+	// block-granular implementations (Block) may instead take MORE than
+	// ceil(n/2) — up to max, or a whole sealed block when uncapped —
+	// because their claim unit is a block, not an item.
 	StealHalf(max int) ([]Entry[T], StealOutcome)
 	// StealHalfColored is StealHalf gated on the top item containing
 	// color: if the victim's oldest item does not contain the thief's

@@ -21,6 +21,7 @@ func queues() map[string]Queue[int] {
 	return map[string]Queue[int]{
 		"mutex":    NewMutex[int](4),
 		"chaselev": NewChaseLev[int](4),
+		"block":    NewBlock[int](4),
 	}
 }
 
@@ -195,6 +196,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}{
 		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
 		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+		{"block", func() Queue[int] { return NewBlock[int](4) }},
 	}
 	for _, impl := range impls {
 		impl := impl
@@ -254,6 +256,7 @@ func TestConcurrentStress(t *testing.T) {
 	}{
 		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
 		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+		{"block", func() Queue[int] { return NewBlock[int](4) }},
 	}
 	for _, impl := range impls {
 		impl := impl
@@ -356,6 +359,7 @@ func TestConcurrentColoredNoFalseSteal(t *testing.T) {
 	}{
 		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
 		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+		{"block", func() Queue[int] { return NewBlock[int](4) }},
 	}
 	for _, impl := range impls {
 		impl := impl
@@ -499,6 +503,7 @@ func TestConcurrentStealHalfStress(t *testing.T) {
 	}{
 		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
 		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+		{"block", func() Queue[int] { return NewBlock[int](4) }},
 	}
 	total := 40000
 	if testing.Short() {
@@ -606,6 +611,7 @@ func TestConcurrentStealHalfColoredFirstItem(t *testing.T) {
 	}{
 		{"mutex", func() Queue[int] { return NewMutex[int](4) }},
 		{"chaselev", func() Queue[int] { return NewChaseLev[int](4) }},
+		{"block", func() Queue[int] { return NewBlock[int](4) }},
 	} {
 		impl := impl
 		t.Run(impl.name, func(t *testing.T) {
@@ -659,6 +665,10 @@ func BenchmarkPushPopChaseLev(b *testing.B) {
 	benchPushPop(b, NewChaseLev[int](64))
 }
 
+func BenchmarkPushPopBlock(b *testing.B) {
+	benchPushPop(b, NewBlock[int](64))
+}
+
 func benchPushPop(b *testing.B, q Queue[int]) {
 	e := entry(1, 3)
 	b.ReportAllocs()
@@ -676,6 +686,7 @@ func BenchmarkStealContention(b *testing.B) {
 	}{
 		{"mutex", NewMutex[int](64)},
 		{"chaselev", NewChaseLev[int](64)},
+		{"block", NewBlock[int](64)},
 	} {
 		b.Run(impl.name, func(b *testing.B) {
 			q := impl.q

@@ -12,12 +12,15 @@
 // committing to a steal. Here each deque item carries a colorset.Set,
 // which is the same structure without the parallel-array bookkeeping.
 //
-// Two implementations share the Queue interface: Mutex (a ring buffer
-// under a lock; the engine default — per-deque contention is a single
-// owner plus occasional thieves, so an uncontended lock costs a couple of
-// atomic operations, same as the lock-free path) and ChaseLev (the classic
-// dynamic circular work-stealing deque of Chase and Lev, provided for the
-// ablation comparing deque substrates).
+// Three implementations share the Queue interface: Mutex (a ring buffer
+// under a lock; the engine default for flat policies — per-deque
+// contention is a single owner plus occasional thieves, so an uncontended
+// lock costs a couple of atomic operations, same as the lock-free path),
+// ChaseLev (the classic dynamic circular work-stealing deque of Chase and
+// Lev, provided for the ablation comparing deque substrates), and Block
+// (a block-structured deque in the BWoS style, the engine default for
+// hierarchical policies, whose batched cross-socket steals it was built
+// for).
 //
 // # Design note: unboxed Chase–Lev slots
 //
@@ -59,4 +62,41 @@
 // StealHalfColored) remain sequences of single-element claims; see the
 // method comments for why a multi-item CAS batch would be unsound against
 // an owner popping inside the candidate range.
+//
+// # Design note: the block deque's single-CAS batch steal
+//
+// The Chase–Lev limitation above — a multi-item top CAS races an owner
+// popping inside the candidate range, because PopBottom synchronizes
+// through top only for the last element — is structural: on that layout,
+// batched steals cost one CAS per stolen item forever. The Block
+// substrate removes the limitation by changing the claim unit. Items live
+// in fixed-size blocks (blockSize entries) chained oldest-to-newest; the
+// owner pushes and pops only inside the unsealed tail block, sealing it
+// when full. A sealed block can never see an owner pop, which is exactly
+// the guarantee the multi-item claim was missing: thieves claim any
+// remaining run of a sealed block with a single CAS.
+//
+// One atomic word per block (incarnation epoch | seal flag | steal
+// index) makes that CAS self-validating: claims fail if the block was
+// recycled (epoch), unsealed by an owner moving back into it (seal), or
+// raced by another thief (steal index). Inside the unsealed tail block
+// the owner and thieves run the ordinary Chase–Lev dance with commit as
+// bottom and the steal index as top, so single-item steals and the
+// last-item race are the proven protocol, just block-local. Blocks
+// recycle through an owner-private free list (epoch bump, drain the
+// per-block reader count, clear slots), so steady-state pushes allocate
+// nothing and Grows() counts block-list growth exactly as the other
+// substrates count buffer growth. Colored steals keep the slot shadow
+// gate (rule 4) and add a per-block color summary — the owner ORs each
+// pushed mask into two words, so a colored miss rejects a whole block in
+// O(1) without touching any slot.
+//
+// The cost of block-granular claiming is victim order: a whole-block
+// claim hands over up to blockSize items at once, so under concurrency
+// the global steal order can legally differ from the per-item order
+// Chase–Lev would produce (per-substrate schedules stay deterministic
+// for a fixed interleaving, and every item is still consumed exactly
+// once; cross-substrate comparisons therefore check computed-sets, not
+// byte-identical schedules). StealHalf on a sealed block may also exceed
+// the baseline ceil(n/2) contract — the claim unit is the block.
 package deque

@@ -131,6 +131,8 @@ func allocScenarios() []struct {
 		{"mutex/push-steal", 0, mkDeque(func() deque.Queue[int] { return deque.NewMutex[int](64) }, true)},
 		{"chaselev/push-pop", 0, mkDeque(func() deque.Queue[int] { return deque.NewChaseLev[int](64) }, false)},
 		{"chaselev/push-steal", 0, mkDeque(func() deque.Queue[int] { return deque.NewChaseLev[int](64) }, true)},
+		{"block/push-pop", 0, mkDeque(func() deque.Queue[int] { return deque.NewBlock[int](64) }, false)},
+		{"block/push-steal", 0, mkDeque(func() deque.Queue[int] { return deque.NewBlock[int](64) }, true)},
 		{"colorset/inline-80", 0, func() func() {
 			sink := false
 			return func() {

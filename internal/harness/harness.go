@@ -46,6 +46,12 @@ type Config struct {
 	// default). Changing it changes the emitted document — regenerated
 	// baselines must use the default.
 	Seed uint64
+	// Deque, when not DequeAuto, overrides the deque backend of every
+	// policy the experiments run. Like Seed, a non-default value changes
+	// the emitted document (the sim mirrors block-granular batching), so
+	// baselines use the default, and like Seed it is deliberately not
+	// echoed into the report envelope.
+	Deque core.DequeBackend
 	// Iterations is how many Execute reuses the persist experiment
 	// measures per engine (default 4; baselines use the default). Other
 	// experiments ignore it, so it is deliberately not echoed into the
@@ -125,6 +131,7 @@ var experiments = []struct {
 	{"arena", arenaReport},
 	{"persist", persistReport},
 	{"submit", submitReport},
+	{"steal", stealReport},
 }
 
 // Experiments lists the runnable experiment names.
@@ -256,9 +263,18 @@ func applySeed(pol core.Policy, seed uint64) core.Policy {
 	return pol
 }
 
-// policy applies the config's seed override to pol.
+// applyDeque is the matching definition for the deque-backend override:
+// non-auto replaces the policy's backend, auto keeps its resolution.
+func applyDeque(pol core.Policy, dq core.DequeBackend) core.Policy {
+	if dq != core.DequeAuto {
+		pol.Deque = dq
+	}
+	return pol
+}
+
+// policy applies the config's seed and deque overrides to pol.
 func (c Config) policy(pol core.Policy) core.Policy {
-	return applySeed(pol, c.Seed)
+	return applyDeque(applySeed(pol, c.Seed), c.Deque)
 }
 
 // runTaskGraph runs benchmark b under the given policy on p simulated

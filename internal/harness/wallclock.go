@@ -5,11 +5,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
+	"nabbitc/internal/deque"
 	"nabbitc/internal/numa"
 	"nabbitc/internal/perf"
 )
@@ -31,6 +34,10 @@ type WallclockConfig struct {
 	// Seed, when nonzero, overrides the scheduling seed of every timed
 	// policy (0 keeps each policy's default).
 	Seed uint64
+	// Deque, when not DequeAuto, overrides the deque backend of every
+	// timed policy (auto keeps each policy's resolution: block for
+	// hierarchical policies, mutex otherwise).
+	Deque core.DequeBackend
 	// Iterations is the outer iteration count of the persistent-engine
 	// reuse rows (default 8); 0 keeps the default, negative disables the
 	// persist table entirely.
@@ -61,14 +68,19 @@ func (c WallclockConfig) withDefaults() WallclockConfig {
 	return c
 }
 
+// policy applies the config's seed and deque overrides to pol.
+func (c WallclockConfig) policy(pol core.Policy) core.Policy {
+	return applyDeque(applySeed(pol, c.Seed), c.Deque)
+}
+
 // wallclockPolicies are the scheduler variants the runner times, with the
 // synthetic 2-core-socket topology that lets the hierarchical tiers
 // engage on a UMA host.
-func wallclockPolicies(workers int, seed uint64) []struct {
+func wallclockPolicies(workers int, seed uint64, dq core.DequeBackend) []struct {
 	name string
 	opts core.Options
 } {
-	stamp := func(p core.Policy) core.Policy { return applySeed(p, seed) }
+	stamp := func(p core.Policy) core.Policy { return applyDeque(applySeed(p, seed), dq) }
 	return []struct {
 		name string
 		opts core.Options
@@ -130,7 +142,7 @@ func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
 			"wall_ns_mean": float64(serialMean),
 		})
 
-		for _, pol := range wallclockPolicies(cfg.Workers, cfg.Seed) {
+		for _, pol := range wallclockPolicies(cfg.Workers, cfg.Seed, cfg.Deque) {
 			pol := pol
 			min, mean, last, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {
 				r, err := suite.BuildReal(name, cfg.Scale)
@@ -172,7 +184,92 @@ func WallclockReport(cfg WallclockConfig) (*perf.Report, error) {
 		}
 		rep.AddTable(st)
 	}
+	kt, err := wallclockStealTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(kt)
 	return rep, nil
+}
+
+// wallclockStealTable is the wall-clock face of the steal experiment:
+// real concurrent thief goroutines drain one pre-filled deque per
+// substrate, at 1/4/8 thieves, and the table reports steals/sec (best
+// repeat) plus the measured claim CASes per stolen item. This is where
+// the block substrate's single-CAS batch claim shows up as throughput:
+// thieves contend on one CAS word per block instead of one per item. The
+// scripted sim-side steal experiment pins the same arithmetic
+// deterministically for the byte-compared baseline.
+func wallclockStealTable(cfg WallclockConfig) (*perf.Table, error) {
+	const fill = 1 << 16
+	subs := stealSubstrates()
+	metrics := make([]perf.Metric, 0, 2*len(subs))
+	for _, s := range subs {
+		metrics = append(metrics,
+			perf.M("steals_per_sec_"+s.name, "1/s", perf.HigherIsBetter),
+			perf.M("cas_per_item_"+s.name, "", perf.LowerIsBetter))
+	}
+	t := perf.NewTable("wallclock/steal",
+		fmt.Sprintf("Wall clock: concurrent thief drain of %d items per deque, best of %d runs",
+			fill, cfg.Repeats),
+		"thieves", metrics...)
+	for _, thieves := range []int{1, 4, 8} {
+		row := make(map[string]float64, len(metrics))
+		for _, s := range subs {
+			var bestRate, bestCAS float64
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				q := s.mk(fill)
+				for j := 0; j < fill; j++ {
+					q.PushBottom(deque.Entry[int]{
+						Value:  j,
+						Colors: colorset.Of(allocColors, j%allocColors),
+					})
+				}
+				var casBase int64
+				if c, ok := q.(casCounter); ok {
+					casBase = c.StealCASes()
+				}
+				var stolen atomic.Int64
+				var wg sync.WaitGroup
+				start := time.Now()
+				for i := 0; i < thieves; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							batch, out := q.StealHalf(0)
+							switch out {
+							case deque.StealOK:
+								stolen.Add(int64(len(batch)))
+							case deque.StealEmpty:
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				wall := time.Since(start).Seconds()
+				if got := stolen.Load(); got != fill {
+					return nil, fmt.Errorf("wallclock steal %s/%d: drained %d items, want %d",
+						s.name, thieves, got, fill)
+				}
+				if wall <= 0 {
+					wall = 1e-9
+				}
+				if rate := float64(fill) / wall; rate > bestRate {
+					bestRate = rate
+					bestCAS = 0
+					if c, ok := q.(casCounter); ok {
+						bestCAS = float64(c.StealCASes()-casBase) / float64(fill)
+					}
+				}
+			}
+			row["steals_per_sec_"+s.name] = bestRate
+			row["cas_per_item_"+s.name] = bestCAS
+		}
+		t.AddRow(itoa(thieves), row)
+	}
+	return t, nil
 }
 
 // wallclockSubmitTable is the multi-tenant throughput experiment: a
@@ -202,7 +299,7 @@ func wallclockSubmitTable(cfg WallclockConfig) (*perf.Table, error) {
 		perf.M("p99_us", "us", perf.LowerIsBetter),
 		perf.M("p99_over_p50", "x", perf.LowerIsBetter),
 		perf.M("wall_ns_min", "ns", perf.LowerIsBetter))
-	pol := applySeed(core.NabbitCPolicy(), cfg.Seed)
+	pol := cfg.policy(core.NabbitCPolicy())
 	for _, inflight := range []int{1, 8, 32, 128} {
 		spec := submitConeSpec(graphs, width, cfg.Workers, nil)
 		var wallMin int64
@@ -281,7 +378,7 @@ func wallclockPersistTable(cfg WallclockConfig) (*perf.Table, error) {
 		if !suite.Iterative(name) {
 			continue
 		}
-		pol := applySeed(core.NabbitCPolicy(), cfg.Seed)
+		pol := cfg.policy(core.NabbitCPolicy())
 
 		var parks int64
 		reuseMin, _, _, err := timeRuns(cfg.Repeats, func() (func() (*core.Stats, error), error) {

@@ -5,6 +5,7 @@ import (
 
 	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
+	"nabbitc/internal/deque"
 	"nabbitc/internal/xrand"
 )
 
@@ -71,6 +72,12 @@ type entry struct {
 type wdeque struct {
 	buf  []entry
 	head int
+	// block mirrors the block substrate's steal granularity (see
+	// stealHalf): absStolen counts head-side removals over the deque's
+	// lifetime, fixing the 32-entry block grid the way the real block
+	// chain's slot positions do.
+	block     bool
+	absStolen int64
 }
 
 func (d *wdeque) len() int { return len(d.buf) - d.head }
@@ -101,6 +108,7 @@ func (d *wdeque) stealTop() (entry, bool) {
 	e := d.buf[d.head]
 	d.buf[d.head] = entry{}
 	d.head++
+	d.absStolen++
 	if d.head > 64 && d.head*2 > len(d.buf) {
 		// Compact to keep memory bounded.
 		d.buf = append(d.buf[:0], d.buf[d.head:]...)
@@ -109,16 +117,27 @@ func (d *wdeque) stealTop() (entry, bool) {
 	return e, true
 }
 
-// stealHalf removes min(ceil(n/2), max) of the oldest items, oldest first
-// — the virtual-time mirror of the real deques' batched steal. The
-// simulator is single-threaded, so unlike Chase–Lev this batch really is
-// atomic.
+// stealHalf removes a batch of the oldest items, oldest first — the
+// virtual-time mirror of the real deques' batched steal. The simulator is
+// single-threaded, so unlike Chase–Lev this batch really is atomic.
+//
+// Per-item substrates take min(ceil(n/2), max). With block set, the batch
+// mirrors the block deque's sealed-block claim instead: everything left
+// in the oldest 32-entry block (which may exceed ceil(n/2)), falling back
+// to half-batching only when the remaining items all sit in the newest,
+// unsealed block — the same legal victim-order deviation the real
+// substrate documents.
 func (d *wdeque) stealHalf(max int) []entry {
 	n := d.len()
 	if n == 0 {
 		return nil
 	}
 	k := (n + 1) / 2
+	if d.block {
+		if remain := deque.BlockSize - int(d.absStolen%deque.BlockSize); n > remain {
+			k = remain
+		}
+	}
 	if max > 0 && k > max {
 		k = max
 	}
@@ -267,6 +286,7 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 		e.nodes = make(map[core.Key]*node)
 	}
 	p := opts.Policy
+	blockDeque := core.ResolveDeque(p) == core.DequeBlock
 	e.workers = make([]*worker, opts.Workers)
 	for i := range e.workers {
 		lo, hi := opts.Topology.SocketWorkers(i)
@@ -277,6 +297,7 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 		e.workers[i] = &worker{
 			id:                i,
 			color:             i,
+			dq:                wdeque{block: blockDeque},
 			rng:               xrand.NewWorker(p.Seed, i),
 			socketLo:          lo,
 			socketHi:          hi,

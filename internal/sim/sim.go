@@ -64,6 +64,9 @@ func (o Options) withDefaults() (Options, error) {
 	if err := o.Cost.Validate(); err != nil {
 		return o, err
 	}
+	if o.Policy.Deque < core.DequeAuto || o.Policy.Deque > core.DequeBlock {
+		return o, fmt.Errorf("sim: unknown deque backend %v", o.Policy.Deque)
+	}
 	o.Policy = policyWithDefaults(o.Policy)
 	return o, nil
 }

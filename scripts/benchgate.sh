@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# benchgate.sh — run a Go benchmark and hard-gate its allocs/op.
+#
+# Usage: scripts/benchgate.sh <bench-regex> <pkg> <line-pattern> <max-allocs> [min-lines]
+#
+#   <bench-regex>   -bench regex handed to go test
+#   <pkg>           package to test (e.g. . or ./internal/core)
+#   <line-pattern>  awk regex selecting the gated result lines
+#   <max-allocs>    maximum permitted allocs/op on every selected line
+#   [min-lines]     minimum selected lines (default 1) — a renamed or
+#                   dropped benchmark must not silently un-gate
+#
+# This is the issue's `benchgate.sh <pattern> <max-allocs>` generalized
+# with the package and -bench regex the four original inline CI gates
+# already varied. Gated lines must carry an allocs/op column (ReportAllocs
+# or -benchmem); the gate fails on any exceedance or on too few matches.
+set -euo pipefail
+
+if [ "$#" -lt 4 ] || [ "$#" -gt 5 ]; then
+  echo "usage: $0 <bench-regex> <pkg> <line-pattern> <max-allocs> [min-lines]" >&2
+  exit 2
+fi
+bench="$1"
+pkg="$2"
+pattern="$3"
+max="$4"
+min="${5:-1}"
+
+out="$(go test -run='^$' -bench="$bench" -benchtime=100x "$pkg")"
+printf '%s\n' "$out"
+printf '%s\n' "$out" | awk -v pat="$pattern" -v max="$max" -v min="$min" '
+  $0 ~ pat && /allocs\/op/ {
+    found++
+    if ($(NF-1) + 0 > max) { print "allocs/op regression (max " max "): " $0; bad = 1 }
+  }
+  END {
+    if (found < min) { print "benchgate: only " found + 0 " gated line(s) matched \"" pat "\", want >= " min; exit 1 }
+    exit bad
+  }
+'
