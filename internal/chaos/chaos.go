@@ -1,0 +1,153 @@
+// Package chaos provides deterministic fault injection for the engine's
+// failure model: a seeded Plan assigns each graph of a workload at most
+// one fault — a panic inside Compute, an artificial delay, or a
+// cancellation fired from inside Compute — as a pure function of (seed,
+// graph index). The same seed always poisons the same graphs at the same
+// nodes, so the faults harness experiment and the -race stress tests are
+// reproducible, and a plan at rate 0 is byte-for-byte a no-op.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"nabbitc/internal/core"
+	"nabbitc/internal/xrand"
+)
+
+// Kind is the fault injected into one graph.
+type Kind int
+
+const (
+	// None leaves the graph healthy.
+	None Kind = iota
+	// Panic makes the target node's Compute panic with a Value payload.
+	Panic
+	// Delay makes the target node's Compute sleep briefly — a
+	// perturbation, not a failure; the graph still completes.
+	Delay
+	// Cancel invokes the injector's OnCancel hook from inside the
+	// target node's Compute, modelling a tenant abandoning its graph
+	// mid-flight.
+	Cancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is the payload a chaos-injected panic carries, identifying the
+// poisoned graph and node so tests can verify the value round-trips
+// through core.ComputeError untouched.
+type Value struct {
+	Graph int
+	Key   core.Key
+}
+
+func (v Value) String() string {
+	return fmt.Sprintf("chaos: injected panic in graph %d at node %d", v.Graph, v.Key)
+}
+
+// Plan deterministically assigns faults to graph indices: graph g is
+// poisoned with probability rate (decided by hashing seed and g), and a
+// poisoned graph's fault kind and target node rotate among the plan's
+// kinds by the same hashing. Plans are immutable and safe for concurrent
+// use.
+type Plan struct {
+	seed  uint64
+	rate  float64
+	kinds []Kind
+}
+
+// NewPlan builds a plan poisoning roughly rate of all graphs with faults
+// drawn from kinds. rate 0 (or no kinds) yields a plan that never
+// injects anything.
+func NewPlan(seed uint64, rate float64, kinds ...Kind) *Plan {
+	return &Plan{seed: seed, rate: rate, kinds: kinds}
+}
+
+// hash is a SplitMix64 draw keyed by (seed, graph, salt) — stateless, so
+// every query about a graph is independent of query order.
+func (p *Plan) hash(graph int, salt uint64) uint64 {
+	s := p.seed ^ (uint64(graph)+1)*0x9e3779b97f4a7c15 ^ salt
+	return xrand.SplitMix64(&s)
+}
+
+// Fault returns the fault assigned to graph (None for healthy graphs).
+func (p *Plan) Fault(graph int) Kind {
+	if len(p.kinds) == 0 || p.rate <= 0 {
+		return None
+	}
+	// 53 uniform bits → [0,1): the standard float draw, fixed per graph.
+	if float64(p.hash(graph, 0xfa)>>11)/(1<<53) >= p.rate {
+		return None
+	}
+	return p.kinds[p.hash(graph, 0x95)%uint64(len(p.kinds))]
+}
+
+// Target returns the ordinal (in [0, nodes)) of the node within graph
+// that the graph's fault strikes.
+func (p *Plan) Target(graph, nodes int) int {
+	if nodes <= 0 {
+		return 0
+	}
+	return int(p.hash(graph, 0x7a) % uint64(nodes))
+}
+
+// DefaultDelay is the injected sleep for Delay faults when the Injector
+// does not override it: long enough to perturb scheduling interleavings,
+// short enough to keep chaos runs fast.
+const DefaultDelay = 50 * time.Microsecond
+
+// Injector wires a Plan into a spec whose keys form a forest of
+// per-graph ranges: key k belongs to graph k/Stride at ordinal k%Stride
+// (the cone-forest layout the multi-tenant tests and harness use). Wrap
+// the spec's Compute with Injector.Compute; the target node of each
+// poisoned graph then panics, sleeps, or triggers OnCancel before the
+// base compute runs.
+type Injector struct {
+	Plan   *Plan
+	Stride int
+	// OnCancel handles Cancel faults (e.g. call the graph's
+	// context.CancelFunc or Ticket.Cancel). A nil OnCancel turns Cancel
+	// faults into no-ops.
+	OnCancel func(graph int)
+	// Delay overrides DefaultDelay for Delay faults when positive.
+	Delay time.Duration
+}
+
+// Compute wraps base with the injector's faults; base may be nil.
+func (in *Injector) Compute(base func(core.Key)) func(core.Key) {
+	return func(k core.Key) {
+		g, ord := int(k)/in.Stride, int(k)%in.Stride
+		if fault := in.Plan.Fault(g); fault != None && ord == in.Plan.Target(g, in.Stride) {
+			switch fault {
+			case Panic:
+				panic(Value{Graph: g, Key: k})
+			case Delay:
+				d := in.Delay
+				if d <= 0 {
+					d = DefaultDelay
+				}
+				time.Sleep(d)
+			case Cancel:
+				if in.OnCancel != nil {
+					in.OnCancel(g)
+				}
+			}
+		}
+		if base != nil {
+			base(k)
+		}
+	}
+}

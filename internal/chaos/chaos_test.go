@@ -1,0 +1,255 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nabbitc/internal/chaos"
+	"nabbitc/internal/core"
+)
+
+// coneSpec mirrors the multi-tenant test workload: a forest of disjoint
+// fan-in cones, graph g owning keys [g*(width+1), g*(width+1)+width],
+// width leaves feeding one sink.
+func coneSpec(graphs, width, workers int, compute func(core.Key)) core.FuncSpec {
+	stride := width + 1
+	return core.FuncSpec{
+		PredsFn: func(k core.Key) []core.Key {
+			if int(k)%stride != width {
+				return nil
+			}
+			base := int(k) - width
+			ps := make([]core.Key, width)
+			for i := range ps {
+				ps[i] = core.Key(base + i)
+			}
+			return ps
+		},
+		ColorFn:   func(k core.Key) int { return int(k) % workers },
+		ComputeFn: compute,
+		BoundFn:   func() int { return graphs * stride },
+	}
+}
+
+func coneSink(g, stride int) core.Key { return core.Key(g*stride + stride - 1) }
+
+// TestPlanDeterminism pins that a Plan is a pure function of its seed:
+// identical seeds agree on every assignment, and the rate-0 plan never
+// injects.
+func TestPlanDeterminism(t *testing.T) {
+	const graphs = 256
+	a := chaos.NewPlan(42, 0.3, chaos.Panic, chaos.Delay, chaos.Cancel)
+	b := chaos.NewPlan(42, 0.3, chaos.Panic, chaos.Delay, chaos.Cancel)
+	c := chaos.NewPlan(43, 0.3, chaos.Panic, chaos.Delay, chaos.Cancel)
+	diff := 0
+	poisoned := 0
+	for g := 0; g < graphs; g++ {
+		if a.Fault(g) != b.Fault(g) || a.Target(g, 17) != b.Target(g, 17) {
+			t.Fatalf("same seed disagrees at graph %d", g)
+		}
+		if a.Fault(g) != c.Fault(g) {
+			diff++
+		}
+		if a.Fault(g) != chaos.None {
+			poisoned++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical fault assignments")
+	}
+	// A 0.3 rate over 256 graphs should land broadly near 77.
+	if poisoned < graphs/6 || poisoned > graphs/2 {
+		t.Errorf("rate 0.3 poisoned %d/%d graphs", poisoned, graphs)
+	}
+	zero := chaos.NewPlan(42, 0, chaos.Panic)
+	none := chaos.NewPlan(42, 0.5)
+	for g := 0; g < graphs; g++ {
+		if zero.Fault(g) != chaos.None || none.Fault(g) != chaos.None {
+			t.Fatal("rate-0 / kindless plan injected a fault")
+		}
+	}
+}
+
+// TestValueRoundTrip pins that an injected panic's Value payload arrives
+// unmodified inside the *ComputeError a poisoned Ticket reports.
+func TestValueRoundTrip(t *testing.T) {
+	const width, stride = 8, 9
+	plan := chaos.NewPlan(7, 1, chaos.Panic)
+	inj := &chaos.Injector{Plan: plan, Stride: stride}
+	spec := coneSpec(1, width, 2, inj.Compute(nil))
+	e, err := core.NewEngine(spec, core.Options{Workers: 2, Policy: core.NabbitCPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tk, err := e.Submit(coneSink(0, stride))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := tk.Wait()
+	var ce *core.ComputeError
+	if !errors.As(werr, &ce) {
+		t.Fatalf("poisoned Wait err = %v, want *ComputeError", werr)
+	}
+	want := chaos.Value{Graph: 0, Key: core.Key(plan.Target(0, stride))}
+	if ce.Value != want {
+		t.Fatalf("ComputeError.Value = %#v, want %#v", ce.Value, want)
+	}
+	if ce.Key != want.Key {
+		t.Fatalf("ComputeError.Key = %d, want %d", ce.Key, want.Key)
+	}
+}
+
+// TestChaosStress is the -race chaos workout: across all three deque
+// substrates × both node-table backends, a seeded plan poisons roughly
+// half of 48 concurrently submitted graphs with panics, delays, and
+// mid-compute cancellations. Healthy (and delayed) graphs must complete
+// exactly-once, panic graphs must report *ComputeError with the exact
+// injected payload, canceled graphs must either finish cleanly or
+// report ErrCanceled — and the engine must stay reusable afterwards.
+func TestChaosStress(t *testing.T) {
+	const (
+		graphs     = 48
+		width      = 16
+		stride     = width + 1
+		workers    = 4
+		submitters = 4
+		seed       = 0xC0FFEE
+		rate       = 0.5
+	)
+	deques := []struct {
+		name string
+		b    core.DequeBackend
+	}{{"mutex", core.DequeMutex}, {"chaselev", core.DequeChaseLev}, {"block", core.DequeBlock}}
+	tables := []struct {
+		name string
+		b    core.NodeTableBackend
+	}{{"dense", core.NodeTableDense}, {"sharded", core.NodeTableSharded}}
+
+	plan := chaos.NewPlan(seed, rate, chaos.Panic, chaos.Delay, chaos.Cancel)
+	kindCount := map[chaos.Kind]int{}
+	for g := 0; g < graphs; g++ {
+		kindCount[plan.Fault(g)]++
+	}
+	for _, k := range []chaos.Kind{chaos.None, chaos.Panic, chaos.Delay, chaos.Cancel} {
+		if kindCount[k] == 0 {
+			t.Fatalf("seed %#x assigns no %v graphs — pick a seed covering all kinds", seed, k)
+		}
+	}
+
+	for _, dq := range deques {
+		for _, tb := range tables {
+			t.Run(fmt.Sprintf("%s/%s", dq.name, tb.name), func(t *testing.T) {
+				counts := make([]atomic.Int32, graphs*stride)
+				cancels := make([]context.CancelFunc, graphs)
+				inj := &chaos.Injector{
+					Plan:     plan,
+					Stride:   stride,
+					OnCancel: func(g int) { cancels[g]() },
+				}
+				spec := coneSpec(graphs, width, workers, inj.Compute(func(k core.Key) {
+					counts[int(k)].Add(1)
+				}))
+				pol := core.NabbitCPolicy()
+				pol.Deque = dq.b
+				e, err := core.NewEngine(spec, core.Options{
+					Workers: workers, Policy: pol, NodeTable: tb.b, MaxInflight: 16,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+
+				tickets := make([]*core.Ticket, graphs)
+				serrs := make([]error, graphs)
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for g := s; g < graphs; g += submitters {
+							if plan.Fault(g) == chaos.Cancel {
+								ctx, cancel := context.WithCancel(context.Background())
+								defer cancel()
+								cancels[g] = cancel
+								tickets[g], serrs[g] = e.SubmitCtx(ctx, coneSink(g, stride))
+								continue
+							}
+							tickets[g], serrs[g] = e.Submit(coneSink(g, stride))
+						}
+					}(s)
+				}
+				wg.Wait()
+
+				for g := 0; g < graphs; g++ {
+					if serrs[g] != nil {
+						t.Fatalf("submit graph %d: %v", g, serrs[g])
+					}
+					_, werr := tickets[g].Wait()
+					switch plan.Fault(g) {
+					case chaos.Panic:
+						var ce *core.ComputeError
+						if !errors.As(werr, &ce) {
+							t.Fatalf("panic graph %d: err = %v, want *ComputeError", g, werr)
+						}
+						want := chaos.Value{Graph: g, Key: core.Key(g*stride + plan.Target(g, stride))}
+						if ce.Value != want {
+							t.Fatalf("panic graph %d: Value = %#v, want %#v", g, ce.Value, want)
+						}
+					case chaos.Cancel:
+						// The cancel races the sink: finishing first is
+						// legitimate, but any failure must be the typed one.
+						if werr != nil && !errors.Is(werr, core.ErrCanceled) {
+							t.Fatalf("cancel graph %d: err = %v, want nil or ErrCanceled", g, werr)
+						}
+					default:
+						if werr != nil {
+							t.Fatalf("%v graph %d failed: %v", plan.Fault(g), g, werr)
+						}
+					}
+				}
+
+				for g := 0; g < graphs; g++ {
+					target := g*stride + plan.Target(g, stride)
+					for k := g * stride; k < (g+1)*stride; k++ {
+						c := counts[k].Load()
+						switch plan.Fault(g) {
+						case chaos.None, chaos.Delay:
+							if c != 1 {
+								t.Fatalf("%v graph %d key %d computed %d times, want 1", plan.Fault(g), g, k, c)
+							}
+						case chaos.Panic:
+							if c > 1 || (k == target && c != 0) {
+								t.Fatalf("panic graph %d key %d computed %d times", g, k, c)
+							}
+						case chaos.Cancel:
+							if c > 1 {
+								t.Fatalf("cancel graph %d key %d computed %d times", g, k, c)
+							}
+						}
+					}
+				}
+
+				// The engine must serve new graphs after the carnage.
+				healthy := -1
+				for g := 0; g < graphs; g++ {
+					if plan.Fault(g) == chaos.None {
+						healthy = g
+						break
+					}
+				}
+				st, err := e.Execute(coneSink(healthy, stride))
+				if err != nil {
+					t.Fatalf("Execute after chaos: %v", err)
+				}
+				if st.NodesCreated != stride {
+					t.Fatalf("post-chaos NodesCreated = %d, want %d", st.NodesCreated, stride)
+				}
+			})
+		}
+	}
+}

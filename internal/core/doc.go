@@ -164,4 +164,68 @@
 // protocol above, so the scheduler proper is backend-oblivious, and the
 // simulator mirrors the same split with byte-identical schedules across
 // backends (see internal/sim).
+//
+// # Design note: the failure model
+//
+// A multi-tenant engine must not let one tenant's bug take down the
+// pool. Failure is therefore a per-graph event, never a per-engine one,
+// built from three pieces.
+//
+// Panic isolation. Every path on which a worker runs user code — a
+// node's Compute, or any spec callback reached while processing an item
+// — sits under a recover boundary (worker.rescue) at the exec/seed
+// entry points. A panic unwinds only the current item's spawn cascade;
+// rescue converts it into a *ComputeError carrying the graph id, the
+// key the worker was processing, the recovered value, and the stack,
+// then fails the owning run. The worker goroutine itself survives and
+// goes back to its deque. A spec callback that panics mid-creation
+// would otherwise leave a node stuck in initializing (arena) or a shard
+// lock exposed (map); both backends therefore publish a poisoned node
+// on the panic path — empty predecessors and an unreachable join count
+// — so racing workers never spin forever on a half-built node.
+//
+// Completion is decided exactly once per run by a CAS on the graphRun's
+// state word (runLive → runDone or runFailed). The winner — the sink's
+// computing worker, Ticket.Cancel, a context watcher, a rescuing
+// worker, or the stall sweep — owns the whole completion: registry
+// removal, admission-slot release, table disposal, and closing the done
+// channel. Everyone else's attempt is a no-op, which is what makes
+// Cancel racing a normal finish (or two cancels racing each other)
+// safe.
+//
+// Cancellation. The failed state also serves as the discard signal:
+// every deque item already carries its *graphRun, so a worker skips
+// items of a dead run with a single atomic load at the exec boundary —
+// no deque surgery, no new synchronization on the hot path; a dead
+// graph's items simply drain as they surface. SubmitCtx/ExecuteCtx
+// attach a context by spawning a watcher goroutine that fails the run
+// when the context fires first; admission waits honor the context too.
+// Cancellation is asynchronous with respect to in-flight nodes: the
+// node a worker has already started runs to completion, but no further
+// nodes of that graph are begun, and once a run is observed dead its
+// OnComplete callbacks stop (a Compute that cancels its own run via
+// Ticket.Cancel gets no completion callback for the canceling node).
+//
+// What is reusable after a failure: the engine, fully. Workers, deques,
+// and the admission semaphore are untouched by construction; the failed
+// run's slot is released by the completion owner. The one subtlety is
+// the run's node table: at fail time workers may still be touching it
+// through in-flight items, so it cannot go straight back to the pool.
+// failRun quarantines it on a dead-tables list, and the engine returns
+// quarantined tables to the pool only at proven-quiet points — when
+// Execute observes all workers parked, or when the stall sweep runs
+// (which itself only fires from the last parking worker). Subsequent
+// graphs therefore see either a recycled clean table or a fresh one,
+// and schedules after a failure are byte-identical to a fresh engine's
+// — pinned by tests and the harness faults experiment. What is not
+// reusable: the failed graph's partial results; resubmitting the same
+// sink re-explores the graph from scratch in a new epoch.
+//
+// Every failure is typed: *ComputeError for recovered panics, ErrCanceled
+// (wrapped with the graph id and the context cause) for Cancel and
+// context expiry, *StallError — carrying a bounded sample of the
+// still-pending keys — for graphs whose sink can provably never compute,
+// and ErrClosed/ErrSaturated for lifecycle and admission refusals. All
+// compose with errors.Is/errors.As. Package chaos provides the seeded
+// fault-injection harness that drives this model deterministically.
 package core

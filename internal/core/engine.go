@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +64,12 @@ type Engine struct {
 	stateMu sync.Mutex
 	runs    []*graphRun // in-flight graphs, unordered (guarded by stateMu)
 	tables  []nodeTable // idle node-table instances (guarded by stateMu)
+	// deadTables quarantines the node tables of failed runs until the
+	// pool is provably quiet (guarded by stateMu; see
+	// reclaimTablesLocked); quarantined mirrors its length atomically so
+	// the park-site reclaim trigger can read it without stateMu.
+	deadTables  []nodeTable
+	quarantined atomic.Int32
 	// active mirrors len(runs) atomically so the stall sweep and
 	// quiescence checks can read it without stateMu.
 	active atomic.Int32
@@ -197,6 +205,11 @@ type worker struct {
 	// streak counts consecutive locally popped items since the last
 	// pending-queue poll; at seedStride the worker polls (fairness).
 	streak int
+	// curKey names the node this worker is currently processing — a
+	// plain owner-written field kept fresh so the rescue boundary can
+	// attribute a recovered panic to the node whose spec callback blew
+	// up (see rescue).
+	curKey Key
 	// lastGrows snapshots the deque's cumulative growth count when
 	// Execute resets this worker, so per-run DequeGrows is a delta.
 	// Snapshotting at run start (not run end) means a failed run can
@@ -312,12 +325,39 @@ func (e *Engine) buildTable() nodeTable {
 // iteration counter); the engine guarantees no worker touches spec or
 // graph state across the call boundary.
 func (e *Engine) Execute(sink Key) (*Stats, error) {
+	return e.execute(nil, sink)
+}
+
+// ExecuteCtx is Execute with caller-controlled cancellation: ctx (which
+// must be non-nil) aborts the admission wait and, once the run is
+// admitted, the run itself — expiry marks the graph dead (workers
+// discard its remaining items), releases its slot, and returns an error
+// matching errors.Is(err, ErrCanceled) that also wraps ctx.Err(). The
+// engine stays reusable after a canceled run.
+func (e *Engine) ExecuteCtx(ctx context.Context, sink Key) (*Stats, error) {
+	return e.execute(ctx, sink)
+}
+
+// execute is the shared exclusive-occupancy path; ctx is nil for plain
+// Execute, keeping the no-ctx path free of watcher goroutines.
+func (e *Engine) execute(ctx context.Context, sink Key) (*Stats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, fmt.Errorf("core: Execute on a closed engine")
+		return nil, ErrClosed
 	}
-	e.slots <- struct{}{} // Execute admission always blocks
+	if ctx == nil {
+		e.slots <- struct{}{} // Execute admission always blocks
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelErr(0, err)
+		}
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, cancelErr(0, ctx.Err())
+		}
+	}
 	r := &graphRun{id: e.nextID.Add(1), sink: sink, done: make(chan struct{})}
 
 	// Wait for the pool to go quiet (no graphs in flight, every worker
@@ -342,15 +382,22 @@ func (e *Engine) Execute(sink Key) (*Stats, error) {
 	e.admitLocked(r)
 	e.stateMu.Unlock()
 	e.wakeOne()
+	if ctx != nil {
+		go e.watchCtx(ctx, r)
+	}
 	<-r.done
 
+	// A failed run has no per-worker stats to gather, and waiting for
+	// quiescence here could block on a canceled graph's still-in-flight
+	// Compute; return right away. The next execute/Close quiesces before
+	// touching shared state anyway.
+	if r.err != nil {
+		return nil, r.err
+	}
 	// Quiesce again before gathering: the finishing worker unwinds and
 	// parks after closing done, and stats must not be read mid-write.
 	e.lockQuiet()
 	defer e.stateMu.Unlock()
-	if r.err != nil {
-		return nil, r.err
-	}
 	st := r.stats
 	st.Workers = make([]WorkerStats, len(e.workers))
 	for i, w := range e.workers {
@@ -372,6 +419,10 @@ func (e *Engine) lockQuiet() {
 		e.stateMu.Lock()
 		if e.active.Load() == 0 && len(e.pending) == 0 &&
 			e.parked.Load() == int32(len(e.workers)) {
+			// Quiet implies no worker can be touching a failed run's
+			// nodes: recycle any quarantined tables before the caller
+			// checks one out.
+			e.reclaimTablesLocked()
 			return
 		}
 		e.stateMu.Unlock()
@@ -510,7 +561,8 @@ func (w *worker) park(cancel func() bool, announced func()) {
 	if announced != nil {
 		announced()
 	}
-	if e.active.Load() > 0 && e.parked.Load() == int32(len(e.workers)) {
+	if e.parked.Load() == int32(len(e.workers)) &&
+		(e.active.Load() > 0 || e.quarantined.Load() > 0) {
 		e.failStalled()
 	}
 	if cancel != nil && cancel() {
@@ -569,23 +621,36 @@ func (w *worker) bail() bool {
 }
 
 // trySeed polls the pending queue and, on a hit, roots the graph: create
-// its sink node and start resolving predecessors. The sink must be new —
-// each graph owns a freshly reset table, so a pre-existing sink means the
-// reset protocol broke.
+// its sink node and start resolving predecessors. A graph canceled
+// before any worker reached it is simply discarded here — its failRun
+// already did the cleanup (slot, registry, done), and draining the stale
+// pending entry is all that remains.
 func (w *worker) trySeed() bool {
 	select {
 	case r := <-w.e.pending:
 		w.spins = 0
-		w.markStarted(r)
-		n, created := r.nt.getOrCreate(r.sink)
-		if !created {
-			panic("core: sink node pre-existed at run start")
+		if r.state.Load() != runLive {
+			return true
 		}
-		w.initAndCompute(r, n)
+		w.markStarted(r)
+		w.seed(r)
 		return true
 	default:
 		return false
 	}
+}
+
+// seed roots a just-admitted graph inside its failure boundary. The sink
+// must be new — each graph owns a freshly reset table, so a pre-existing
+// sink means the reset protocol broke (the panic fails only this graph).
+func (w *worker) seed(r *graphRun) {
+	defer w.rescue(r)
+	w.curKey = r.sink
+	n, created := r.nt.getOrCreate(r.sink)
+	if !created {
+		panic("core: sink node pre-existed at run start")
+	}
+	w.initAndCompute(r, n)
 }
 
 func (w *worker) markStarted(r *graphRun) {
@@ -595,10 +660,41 @@ func (w *worker) markStarted(r *graphRun) {
 	}
 }
 
+// exec runs one deque item inside the owning graph's failure boundary.
+// The single state load is the entire hot-path cost of cancellation and
+// panic isolation: items of a failed or canceled graph are discarded
+// right here, which is how a dead run's work drains out of every deque
+// — the item already carries its *graphRun, so no new synchronization
+// and no queue surgery.
 func (w *worker) exec(it item) {
 	w.spins = 0
-	w.markStarted(it.run)
-	w.runItem(it.run, it)
+	r := it.run
+	if r.state.Load() != runLive {
+		return
+	}
+	w.markStarted(r)
+	defer w.rescue(r)
+	w.runItem(r, it)
+}
+
+// rescue is the engine's panic-isolation boundary: a panic escaping a
+// node's Compute — or any spec callback reached while processing an
+// item (Predecessors, Color, Home, OnComplete) — is converted into a
+// typed *ComputeError that fails only the owning graph. The worker
+// goroutine survives: recover unwinds the item's spawn cascade, failRun
+// marks the run dead, and every other deque item of the graph is
+// discarded at its own exec boundary.
+func (w *worker) rescue(r *graphRun) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	w.e.failRun(r, &ComputeError{
+		GraphID: r.id,
+		Key:     w.curKey,
+		Value:   v,
+		Stack:   debug.Stack(),
+	})
 }
 
 // push reifies a continuation as a stealable deque item tagged with the
@@ -679,6 +775,7 @@ func (w *worker) runGroup(r *graphRun, owner *Node, g group) {
 // predecessor's successor list, or — if the predecessor has already
 // computed — account it directly, possibly making owner ready.
 func (w *worker) tryInitCompute(r *graphRun, owner *Node, pkey Key) {
+	w.curKey = pkey
 	pred, created := r.nt.getOrCreate(pkey)
 	if created {
 		// We created pred, so it cannot have computed yet; owner's
@@ -715,6 +812,7 @@ func (w *worker) computeAndNotify(r *graphRun, n *Node) {
 	// Locality accounting per the paper (§V-B): one access for the node
 	// itself plus one per predecessor, judged by the data's true home
 	// domain vs. this worker's domain.
+	w.curKey = n.key
 	topo := w.e.opts.Topology
 	w.stats.NodesExecuted++
 	if n.color == w.color {
@@ -726,7 +824,11 @@ func (w *worker) computeAndNotify(r *graphRun, n *Node) {
 	}
 
 	w.e.spec.Compute(n.key)
-	if w.e.opts.OnComplete != nil {
+	// A Compute can kill its own run (Ticket.Cancel from inside the
+	// callback); once the run is observed dead, no further OnComplete
+	// fires for it — the failed Wait has already returned, and a late
+	// callback would race with whatever the caller does next.
+	if w.e.opts.OnComplete != nil && r.state.Load() == runLive {
 		w.e.opts.OnComplete(w.id, n.key)
 	}
 

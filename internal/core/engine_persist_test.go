@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -213,8 +215,9 @@ func TestExecuteReuseNoArenaRealloc(t *testing.T) {
 	}
 }
 
-// TestEngineCloseSemantics: Close is idempotent, and Execute after Close
-// fails loudly instead of hanging.
+// TestEngineCloseSemantics: Close is idempotent, and every front door —
+// Execute, ExecuteCtx, Submit, SubmitCtx — fails a closed engine with
+// the typed ErrClosed instead of hanging.
 func TestEngineCloseSemantics(t *testing.T) {
 	spec := flatFanInSpec(16, 2, nil)
 	e, err := NewEngine(spec, Options{Workers: 2, Policy: NabbitCPolicy()})
@@ -230,8 +233,17 @@ func TestEngineCloseSemantics(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if _, err := e.Execute(16); err == nil {
-		t.Fatal("Execute on a closed engine succeeded")
+	if _, err := e.Execute(16); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Execute on a closed engine: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.ExecuteCtx(context.Background(), 16); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ExecuteCtx on a closed engine: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.Submit(16); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit on a closed engine: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.SubmitCtx(context.Background(), 16); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitCtx on a closed engine: err = %v, want ErrClosed", err)
 	}
 }
 

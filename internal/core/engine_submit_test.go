@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"strings"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -314,8 +314,21 @@ func TestExecuteAfterFailedRun(t *testing.T) {
 
 	if _, err := e.Execute(failoverBadSink); err == nil {
 		t.Fatal("Execute of an uncomputable sink must error")
-	} else if !strings.Contains(err.Error(), "without computing sink") {
-		t.Fatalf("unexpected failure message: %v", err)
+	} else {
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("stalled run error = %v, want errors.Is(err, ErrStalled)", err)
+		}
+		var se *StallError
+		if !errors.As(err, &se) {
+			t.Fatalf("stalled run error %T does not unwrap to *StallError", err)
+		}
+		// The cycle members and the sink above them never computed.
+		want := []Key{failoverCycA, failoverCycB, failoverBadSink}
+		if se.Sink != failoverBadSink || se.PendingTotal != len(want) ||
+			!slices.Equal(se.Pending, want) {
+			t.Fatalf("stall diagnostics = sink %d pending %v (total %d), want sink %d pending %v",
+				se.Sink, se.Pending, se.PendingTotal, failoverBadSink, want)
+		}
 	}
 	take()
 

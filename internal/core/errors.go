@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure classes. Every error the engine produces for a run
+// wraps exactly one of these (or ErrSaturated, see submit.go), so
+// callers classify failures with errors.Is and recover diagnostics with
+// errors.As against the typed errors below.
+var (
+	// ErrClosed is returned by Submit, SubmitCtx, Execute, and
+	// ExecuteCtx once Close has begun.
+	ErrClosed = errors.New("core: engine closed")
+
+	// ErrCanceled classifies runs aborted by Ticket.Cancel or by a
+	// SubmitCtx/ExecuteCtx context expiring. When a context caused the
+	// abort, the returned error also wraps ctx.Err(), so
+	// errors.Is(err, context.DeadlineExceeded) distinguishes deadlines
+	// from explicit cancels.
+	ErrCanceled = errors.New("core: graph canceled")
+
+	// ErrStalled classifies runs failed by the stall sweep: the pool
+	// went provably idle while the graph's sink had not computed (a
+	// cycle or an unsatisfiable predecessor). The concrete error is a
+	// *StallError carrying the pending-node diagnostics.
+	ErrStalled = errors.New("core: graph stalled without computing its sink")
+)
+
+// StallPendingMax bounds StallError.Pending: a stalled million-node
+// graph should not turn its diagnostic into a million-entry slice. The
+// full count is always reported in PendingTotal.
+const StallPendingMax = 64
+
+// StallError is the stall sweep's diagnostic: the run's sink never
+// computed, and Pending lists the nodes that were created but never
+// became ready — for a cycle, the cycle's members (plus everything
+// downstream of them) are exactly this set. It unwraps to ErrStalled.
+type StallError struct {
+	GraphID uint64
+	Sink    Key
+	// Pending holds the created-but-never-computed node keys in
+	// ascending order, truncated to StallPendingMax entries.
+	Pending []Key
+	// PendingTotal is the untruncated pending-node count.
+	PendingTotal int
+}
+
+func (e *StallError) Error() string {
+	if e.PendingTotal > len(e.Pending) {
+		return fmt.Sprintf("core: graph %d stalled: sink %d never computed (%d nodes pending, first %d: %v)",
+			e.GraphID, e.Sink, e.PendingTotal, len(e.Pending), e.Pending)
+	}
+	return fmt.Sprintf("core: graph %d stalled: sink %d never computed (pending nodes: %v)",
+		e.GraphID, e.Sink, e.Pending)
+}
+
+// Unwrap ties StallError into the sentinel taxonomy:
+// errors.Is(err, ErrStalled) holds for every stall failure.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// ComputeError reports a panic recovered at the engine's isolation
+// boundary: a node's Compute (or a spec callback reached while
+// processing the node — Predecessors, Color, Home, OnComplete) panicked,
+// failing only the owning graph. Key is the node being processed, Value
+// the recovered panic value, and Stack the goroutine stack captured at
+// the recovery point.
+type ComputeError struct {
+	GraphID uint64
+	Key     Key
+	Value   any
+	Stack   []byte
+}
+
+func (e *ComputeError) Error() string {
+	return fmt.Sprintf("core: graph %d: panic while processing node %d: %v", e.GraphID, e.Key, e.Value)
+}
+
+// cancelErr builds a run's cancellation error. The result matches
+// errors.Is(err, ErrCanceled); when cause is non-nil (a ctx expiry) it
+// additionally wraps cause, so deadline and explicit cancels stay
+// distinguishable.
+func cancelErr(id uint64, cause error) error {
+	if cause == nil {
+		return fmt.Errorf("graph %d: %w", id, ErrCanceled)
+	}
+	return fmt.Errorf("graph %d: %w: %w", id, ErrCanceled, cause)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -46,6 +47,15 @@ const (
 
 // nodePhase extracts the lifecycle phase from a state-word value.
 func nodePhase(v uint32) uint32 { return v & phaseMask }
+
+// poisonedJoin is the join value published for a node whose spec init
+// (Predecessors/Color/Home) panicked: large enough that no legal
+// decrement sequence reaches zero, so the node can never become ready or
+// compute. The owning graph is already failing — the panic propagates to
+// the worker's rescue boundary — so the poisoned node only has to keep
+// concurrent workers of the same graph from hanging on an initializing-
+// forever slot or computing a half-built node.
+const poisonedJoin = int32(1) << 30
 
 // Node is the runtime state of one task. Nodes are created on demand the
 // first time any worker names their key, and live until the run ends.
@@ -178,6 +188,10 @@ type nodeTable interface {
 	// run. Callers must guarantee quiescence: no worker touches the table
 	// (or any node it handed out) across a reset.
 	reset()
+	// pendingKeys returns the keys of created-but-never-computed nodes
+	// in ascending order — the stall sweep's diagnostic payload. Callers
+	// must guarantee quiescence (same contract as reset).
+	pendingKeys() []Key
 }
 
 // nodeShardCount is a power of two sized to keep per-shard contention low
@@ -238,16 +252,27 @@ func (nm *nodeMap) getOrCreate(k Key) (*Node, bool) {
 	// published-before-initialized hazard. (The arena backend does run
 	// the placeholder protocol — its lifecycle word makes the hazard
 	// tractable; see nodeArena.getOrCreate.)
-	n := &Node{
-		key:   k,
-		color: nm.spec.Color(k),
-		home:  HomeOf(nm.spec, k),
-		preds: nm.spec.Predecessors(k),
-	}
+	n := &Node{key: k}
+	done := false
+	// The deferred publish also runs when a spec callback below panics:
+	// the node is published poisoned (empty preds, a join no decrement
+	// sequence can drain) and the shard is unlocked, so a panicking spec
+	// can never leave a shard locked or a key half-created — the panic
+	// then unwinds to the worker's rescue boundary and fails the graph.
+	defer func() {
+		if !done {
+			n.preds = nil
+			n.join.Store(poisonedJoin)
+		}
+		n.state.Store(nodeReady)
+		sh.m[k] = n
+		sh.mu.Unlock()
+	}()
+	n.color = nm.spec.Color(k)
+	n.home = HomeOf(nm.spec, k)
+	n.preds = nm.spec.Predecessors(k)
 	n.join.Store(int32(len(n.preds)))
-	n.state.Store(nodeReady)
-	sh.m[k] = n
-	sh.mu.Unlock()
+	done = true
 	return n, true
 }
 
@@ -282,6 +307,25 @@ func (nm *nodeMap) count() int {
 		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// pendingKeys lists created-but-never-computed nodes, sorted. Called
+// only from the stall sweep's proven-quiet point, so the shard locks are
+// uncontended formality.
+func (nm *nodeMap) pendingKeys() []Key {
+	var keys []Key
+	for i := range nm.shards {
+		sh := &nm.shards[i]
+		sh.mu.RLock()
+		for k, n := range sh.m {
+			if nodePhase(n.state.Load()) != nodeComputed {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // forEach visits every created node. Not for use while workers run; not
@@ -399,14 +443,7 @@ func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
 	// claimant observed the same word, so exactly one wins.
 	for v&epochMask != cur || nodePhase(v) == nodeAbsent {
 		if n.state.CompareAndSwap(v, cur|nodeIniting) {
-			n.preds = a.spec.Predecessors(k)
-			n.join.Store(int32(len(n.preds)))
-			// Defensive: markComputed leaves retired slots truncated, but
-			// a node the previous run somehow never computed must not
-			// leak successors into this epoch.
-			n.succs = n.succs[:0]
-			a.created.Add(1)
-			n.state.Store(cur | nodeReady)
+			a.fill(n, k, cur)
 			return n, true
 		}
 		v = n.state.Load()
@@ -414,7 +451,8 @@ func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
 	// Lost the creation race: the winner is inside the (cheap, by spec
 	// contract) Predecessors call. Spin until the ready store publishes
 	// the fields; the atomic load pairs with it, so everything the winner
-	// wrote is visible here.
+	// wrote is visible here. A winner whose spec panicked still publishes
+	// (poisoned — see fill), so this spin is bounded even on failure.
 	for spins := 0; ; spins++ {
 		v = n.state.Load()
 		if v&epochMask == cur && nodePhase(v) >= nodeReady {
@@ -424,6 +462,31 @@ func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
 			runtime.Gosched()
 		}
 	}
+}
+
+// fill completes a slot whose creation CAS the caller just won: run the
+// spec's init (Predecessors) and publish ready. The deferred publish
+// also runs when the spec panics — with empty preds and a poisoned join
+// — so a slot can never be left at nodeIniting, where same-graph racers
+// would spin forever; the panic then unwinds to the worker's rescue
+// boundary and fails the owning graph.
+func (a *nodeArena) fill(n *Node, k Key, cur uint32) {
+	done := false
+	defer func() {
+		if !done {
+			n.preds = nil
+			n.join.Store(poisonedJoin)
+		}
+		// Defensive: markComputed leaves retired slots truncated, but a
+		// node the previous run somehow never computed must not leak
+		// successors into this epoch.
+		n.succs = n.succs[:0]
+		a.created.Add(1)
+		n.state.Store(cur | nodeReady)
+	}()
+	n.preds = a.spec.Predecessors(k)
+	n.join.Store(int32(len(n.preds)))
+	done = true
 }
 
 func (a *nodeArena) get(k Key) (*Node, bool) {
@@ -439,6 +502,23 @@ func (a *nodeArena) get(k Key) (*Node, bool) {
 }
 
 func (a *nodeArena) count() int { return int(a.created.Load()) }
+
+// pendingKeys lists created-but-never-computed nodes of the current
+// epoch, sorted. Stall-sweep only (quiescent), so the O(bound) scan is
+// off every hot path.
+func (a *nodeArena) pendingKeys() []Key {
+	var keys []Key
+	for i := range a.nodes {
+		n := &a.nodes[i]
+		v := n.state.Load()
+		if v&epochMask == a.epoch &&
+			nodePhase(v) != nodeAbsent && nodePhase(v) != nodeComputed {
+			keys = append(keys, n.key)
+		}
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // reset retires every node by bumping the arena's epoch — O(1), no slot
 // clearing, no allocation. The 29-bit stamp wraps once per 2^29 resets; on

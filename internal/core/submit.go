@@ -1,8 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,20 +11,37 @@ import (
 // Options.MaxInflight graphs are already in flight.
 var ErrSaturated = errors.New("core: engine saturated (MaxInflight graphs in flight)")
 
+// graphRun completion states, held in graphRun.state. A run completes
+// exactly once: the sink's computing worker (runDone), or whichever of
+// Cancel / ctx expiry / panic rescue / the stall sweep wins the CAS
+// first (runFailed). The CAS winner owns the whole completion — registry
+// removal, slot release, table disposal, and closing done.
+const (
+	runLive uint32 = iota
+	runDone
+	runFailed
+)
+
 // graphRun is the per-graph run state: one admitted task graph, its
 // private node-table instance, and its completion cell. Generalizing the
 // single-run engine state to a per-graph object is what lets many graphs
 // share the worker pool — their deque items carry the owning graphRun,
-// so a worker can interleave items of different graphs freely.
+// so a worker can interleave items of different graphs freely, and a
+// single atomic load of state is all it costs to discard items of a
+// failed or canceled graph at the exec boundary.
 type graphRun struct {
 	id   uint64
 	sink Key
 	// nt is this graph's node table, checked out of the engine's pool
-	// at admission and returned when the sink computes (or the run is
-	// failed). Tables are never shared between in-flight graphs, so the
+	// at admission and returned when the sink computes — or quarantined
+	// when the run fails mid-flight (see Engine.reclaimTablesLocked).
+	// Tables are never shared between in-flight graphs, so the
 	// per-table epoch reset needs no cross-graph coordination.
 	nt    nodeTable
 	start time.Time
+	// state is the completion word (runLive/runDone/runFailed); see the
+	// constants above for the single-completion protocol.
+	state atomic.Uint32
 	// done is closed exactly once, after stats/err are final.
 	done  chan struct{}
 	stats *Stats
@@ -32,6 +50,7 @@ type graphRun struct {
 
 // Ticket is a handle to a submitted graph.
 type Ticket struct {
+	e *Engine
 	r *graphRun
 }
 
@@ -39,7 +58,10 @@ type Ticket struct {
 // per-worker counters (Stats.Workers) are nil: workers interleave many
 // graphs, so per-worker activity cannot be attributed to one submission —
 // use Execute for a fully attributed run. Wait may be called any number
-// of times, from any goroutine.
+// of times, from any goroutine. On failure the stats are nil and the
+// error is typed: *ComputeError for a recovered panic, ErrCanceled
+// (wrapped) for Cancel/ctx aborts, *StallError for a graph whose sink
+// can never compute.
 func (t *Ticket) Wait() (*Stats, error) {
 	<-t.r.done
 	return t.r.stats, t.r.err
@@ -51,6 +73,18 @@ func (t *Ticket) Done() <-chan struct{} {
 	return t.r.done
 }
 
+// Cancel aborts the graph if it has not already completed: the run is
+// marked dead (workers discard its remaining deque items at the exec
+// boundary), its admission slot is released, and Wait returns an error
+// matching errors.Is(err, ErrCanceled). Cancel reports whether this
+// call aborted the run; false means the run had already finished,
+// failed, or been canceled. Cancellation is asynchronous with respect
+// to in-flight nodes — a worker may still be finishing the node it had
+// started — but no further nodes of the graph are begun.
+func (t *Ticket) Cancel() bool {
+	return t.e.failRun(t.r, cancelErr(t.r.id, nil))
+}
+
 // Submit admits the task graph whose completion is marked by the sink
 // task and returns immediately with a Ticket; workers compute the graph
 // concurrently with any other in-flight submissions. Admission is
@@ -58,23 +92,54 @@ func (t *Ticket) Done() <-chan struct{} {
 // blocks until a slot frees (Options.AdmissionBlock, the default) or
 // fails fast with ErrSaturated (Options.AdmissionReject). A graph whose
 // sink can never compute (cycle, unsatisfiable predecessor) fails its
-// Ticket with an error once the pool has provably stalled, leaving the
-// engine reusable.
+// Ticket with a *StallError once the pool has provably stalled, leaving
+// the engine reusable. Submit on a closed engine returns ErrClosed.
 func (e *Engine) Submit(sink Key) (*Ticket, error) {
+	return e.submit(nil, sink)
+}
+
+// SubmitCtx is Submit with caller-controlled cancellation: ctx (which
+// must be non-nil) aborts both the admission wait and, once admitted,
+// the run itself. Expiry marks the graph dead, releases its admission
+// slot, and fails the Ticket with an error matching errors.Is(err,
+// ErrCanceled) that also wraps ctx.Err().
+func (e *Engine) SubmitCtx(ctx context.Context, sink Key) (*Ticket, error) {
+	return e.submit(ctx, sink)
+}
+
+// submit is the shared admission path; ctx is nil for plain Submit,
+// keeping the no-ctx fast path free of watcher goroutines and ctx
+// plumbing (its steady-state cost stays at the graphRun + done + Ticket
+// allocations the throughput gate pins).
+func (e *Engine) submit(ctx context.Context, sink Key) (*Ticket, error) {
 	if e.closing.Load() {
-		return nil, fmt.Errorf("core: Submit on a closed engine")
+		return nil, ErrClosed
 	}
-	if e.opts.Admission == AdmissionReject {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelErr(0, err)
+		}
+	}
+	switch {
+	case e.opts.Admission == AdmissionReject:
 		select {
 		case e.slots <- struct{}{}:
 		default:
 			return nil, ErrSaturated
 		}
-	} else {
+	case ctx == nil:
 		select {
 		case e.slots <- struct{}{}:
 		case <-e.closedCh:
-			return nil, fmt.Errorf("core: Submit on a closed engine")
+			return nil, ErrClosed
+		}
+	default:
+		select {
+		case e.slots <- struct{}{}:
+		case <-e.closedCh:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, cancelErr(0, ctx.Err())
 		}
 	}
 	r := &graphRun{id: e.nextID.Add(1), sink: sink, done: make(chan struct{})}
@@ -84,12 +149,25 @@ func (e *Engine) Submit(sink Key) (*Ticket, error) {
 		// already have seen an idle engine, so this graph must not run.
 		e.stateMu.Unlock()
 		<-e.slots
-		return nil, fmt.Errorf("core: Submit on a closed engine")
+		return nil, ErrClosed
 	}
 	e.admitLocked(r)
 	e.stateMu.Unlock()
 	e.wakeOne()
-	return &Ticket{r: r}, nil
+	if ctx != nil {
+		go e.watchCtx(ctx, r)
+	}
+	return &Ticket{e: e, r: r}, nil
+}
+
+// watchCtx fails the run when its context expires before the run
+// completes; either way it exits once the run is over.
+func (e *Engine) watchCtx(ctx context.Context, r *graphRun) {
+	select {
+	case <-ctx.Done():
+		e.failRun(r, cancelErr(r.id, ctx.Err()))
+	case <-r.done:
+	}
 }
 
 // admitLocked registers an admitted graph (caller holds stateMu and the
@@ -127,8 +205,13 @@ func (e *Engine) checkoutTableLocked() nodeTable {
 // deque (every live item would feed an unresolved join below the sink,
 // contradicting the sink having computed) and no other worker holds a
 // reference into the graph's nodes, so its table can be returned to the
-// pool immediately.
+// pool immediately. If a concurrent Cancel/ctx expiry won the
+// completion CAS first, that winner owns the cleanup and the computed
+// result is discarded.
 func (e *Engine) finishRun(r *graphRun) {
+	if !r.state.CompareAndSwap(runLive, runDone) {
+		return
+	}
 	r.stats = &Stats{
 		GraphID:      r.id,
 		Elapsed:      time.Since(r.start),
@@ -143,6 +226,31 @@ func (e *Engine) finishRun(r *graphRun) {
 	e.stateMu.Unlock()
 	<-e.slots
 	close(r.done)
+}
+
+// failRun completes r exceptionally with err. The first completion —
+// sink, Cancel, ctx expiry, panic rescue, stall sweep — wins the state
+// CAS and owns the cleanup; failRun reports whether this call was that
+// winner. Safe to call from any goroutine. Items of the failed graph
+// still sitting in deques are discarded by the workers at the exec
+// boundary (one atomic load per item), which is how a dead graph's work
+// drains out of every deque with no queue surgery. The node table is
+// quarantined rather than pooled: workers may still be mid-item on the
+// graph's nodes, so the table is recycled only at a proven-quiet point
+// (see reclaimTablesLocked).
+func (e *Engine) failRun(r *graphRun, err error) bool {
+	if !r.state.CompareAndSwap(runLive, runFailed) {
+		return false
+	}
+	r.err = err
+	e.stateMu.Lock()
+	e.removeRunLocked(r)
+	e.deadTables = append(e.deadTables, r.nt)
+	e.quarantined.Store(int32(len(e.deadTables)))
+	e.stateMu.Unlock()
+	<-e.slots
+	close(r.done)
+	return true
 }
 
 // removeRunLocked drops r from the run registry (caller holds stateMu).
@@ -162,28 +270,72 @@ func (e *Engine) removeRunLocked(r *graphRun) {
 
 // failStalled is the stall sweep: called by a worker whose park
 // announcement made the whole pool parked while graphs were still
-// registered. With every worker parked, nothing pending, no wake token
-// in flight (the waker-side parked decrement guarantees parked == P
-// implies none), and every deque empty, no registered graph can ever
-// make progress — their sinks are unreachable (a cycle, an unsatisfiable
-// predecessor). Each is failed with an error and its table reclaimed, so
-// the engine stays usable. All conditions are re-verified under stateMu:
-// a racing admission either registered before the sweep locked (and is
-// visible in pending) or after (and misses the sweep entirely).
+// registered (or failed-run tables still quarantined). With every
+// worker parked, nothing pending, no wake token in flight (the
+// waker-side parked decrement guarantees parked == P implies none), and
+// every deque empty, no registered graph can ever make progress — their
+// sinks are unreachable (a cycle, an unsatisfiable predecessor). Each is
+// failed with a *StallError naming its never-computed nodes, and every
+// quarantined table is reclaimed, so the engine stays usable. All
+// conditions are re-verified under stateMu: a racing admission either
+// registered before the sweep locked (and is visible in pending) or
+// after (and misses the sweep entirely).
 func (e *Engine) failStalled() {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
-	if e.active.Load() == 0 || len(e.pending) != 0 || e.closeFlag.Load() ||
+	if len(e.pending) != 0 || e.closeFlag.Load() ||
 		e.parked.Load() != int32(len(e.workers)) || e.anyWork() {
 		return
 	}
-	for i, r := range e.runs {
-		r.err = fmt.Errorf("core: run ended without computing sink %d", r.sink)
+	// The pool is provably quiet, so no worker can be touching a failed
+	// run's nodes anymore: recycle the quarantined tables.
+	e.reclaimTablesLocked()
+	if e.active.Load() == 0 {
+		return
+	}
+	keep := e.runs[:0]
+	for _, r := range e.runs {
+		if !r.state.CompareAndSwap(runLive, runFailed) {
+			// A concurrent Cancel/ctx expiry won this run's completion
+			// and is about to remove it (it owns the slot release and
+			// done close); leave the run to its winner.
+			keep = append(keep, r)
+			continue
+		}
+		pend := r.nt.pendingKeys()
+		se := &StallError{GraphID: r.id, Sink: r.sink, PendingTotal: len(pend)}
+		if len(pend) > StallPendingMax {
+			pend = pend[:StallPendingMax]
+		}
+		se.Pending = pend
+		r.err = se
+		// Every worker is parked, so unlike failRun the table can go
+		// straight back to the pool.
 		e.tables = append(e.tables, r.nt)
-		e.runs[i] = nil
 		e.active.Add(-1)
 		<-e.slots
 		close(r.done)
 	}
-	e.runs = e.runs[:0]
+	for i := len(keep); i < len(e.runs); i++ {
+		e.runs[i] = nil
+	}
+	e.runs = keep
+}
+
+// reclaimTablesLocked recycles the node tables of failed runs back into
+// the pool. A failed run's table is quarantined at failure time because
+// workers may still be executing an in-flight item that touches its
+// nodes; callers hold stateMu at a proven-quiet point (every worker
+// parked, nothing pending), where no worker can hold a reference into
+// any table.
+func (e *Engine) reclaimTablesLocked() {
+	if len(e.deadTables) == 0 {
+		return
+	}
+	e.tables = append(e.tables, e.deadTables...)
+	for i := range e.deadTables {
+		e.deadTables[i] = nil
+	}
+	e.deadTables = e.deadTables[:0]
+	e.quarantined.Store(0)
 }

@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"nabbitc/internal/chaos"
+	"nabbitc/internal/core"
+	"nabbitc/internal/perf"
+)
+
+// The faults experiment pins the engine's failure model into the
+// structured report pipeline, using only deterministic measurements so
+// it can live in the byte-compared sim-kind document:
+//
+//   - faults/census: a seeded chaos.Plan poisons a fixed subset of a
+//     cone forest with panics, delays, and cancellations. The outcome of
+//     every graph is determined by the plan alone — panic graphs report
+//     *core.ComputeError, cancel graphs report core.ErrCanceled (the
+//     cancel fires synchronously from inside the poisoned Compute, so it
+//     always beats the sink), healthy and delayed graphs complete — and
+//     the surviving graphs' exactly-once census and the engine's
+//     reusability after the carnage are recorded as 0/1 metrics at
+//     several worker counts.
+//   - faults/identity: at rate 0 the chaos wrapping is a scheduling
+//     no-op (1 worker, FNV-1a over the completion sequence, byte-equal
+//     to an uninstrumented engine), and an engine that has absorbed
+//     panics and cancellations schedules its healthy graphs
+//     byte-identically to a clean engine — failure leaves no residue.
+const (
+	faultSeed   = 0xC0FFEE
+	faultRate   = 0.5
+	faultGraphs = 32
+	faultWidth  = 16
+	faultStride = faultWidth + 1
+)
+
+func faultPlan() *chaos.Plan {
+	return chaos.NewPlan(faultSeed, faultRate, chaos.Panic, chaos.Delay, chaos.Cancel)
+}
+
+// faultOutcomes tallies the plan's verdicts: how many graphs are left
+// healthy (or merely delayed), panicked, and canceled.
+func faultOutcomes(plan *chaos.Plan) (healthy, panicked, canceled int) {
+	for g := 0; g < faultGraphs; g++ {
+		switch plan.Fault(g) {
+		case chaos.Panic:
+			panicked++
+		case chaos.Cancel:
+			canceled++
+		default:
+			healthy++
+		}
+	}
+	return
+}
+
+// faultsCensusTable runs the poisoned forest at several worker counts
+// and checks every graph's outcome against the plan's verdict.
+func faultsCensusTable(cfg Config) (*perf.Table, error) {
+	plan := faultPlan()
+	_, panicked, canceled := faultOutcomes(plan)
+	t := perf.NewTable("faults/census",
+		fmt.Sprintf("Faults: %d cone graphs, seeded chaos at rate %.2g (%d panic, %d cancel) — typed-failure census",
+			faultGraphs, faultRate, panicked, canceled),
+		"workers",
+		perf.M("completed_ok", "", perf.HigherIsBetter),
+		perf.M("failed_compute_error", "", perf.Neutral),
+		perf.M("failed_canceled", "", perf.Neutral),
+		perf.M("healthy_exactly_once", "", perf.HigherIsBetter),
+		perf.M("healthy_nodes_total", "", perf.Neutral),
+		perf.M("reusable_after", "", perf.HigherIsBetter))
+	for _, workers := range []int{1, 4, 8} {
+		counts := make([]atomic.Int32, faultGraphs*faultStride)
+		// Cancel faults fire synchronously from inside the poisoned
+		// Compute via Ticket.Cancel. The worker may reach the target
+		// before the submitter has recorded the ticket, so each graph
+		// hands its ticket through a one-slot channel: the poisoned
+		// Compute blocks until its own Submit has returned, then cancels
+		// its run from within it — a deterministic loss for the sink.
+		tkCh := make([]chan *core.Ticket, faultGraphs)
+		for g := range tkCh {
+			tkCh[g] = make(chan *core.Ticket, 1)
+		}
+		inj := &chaos.Injector{
+			Plan:     plan,
+			Stride:   faultStride,
+			OnCancel: func(g int) { (<-tkCh[g]).Cancel() },
+		}
+		spec := submitConeSpec(faultGraphs, faultWidth, workers, inj.Compute(func(k core.Key) {
+			counts[int(k)].Add(1)
+		}))
+		e, err := core.NewEngine(spec, core.Options{
+			Workers: workers, Policy: cfg.policy(core.NabbitCPolicy()), MaxInflight: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tickets := make([]*core.Ticket, faultGraphs)
+		for g := range tickets {
+			tk, err := e.Submit(submitConeSink(g, faultWidth))
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("submit graph %d: %w", g, err)
+			}
+			tickets[g] = tk
+			tkCh[g] <- tk
+		}
+		completedOK, failedCompute, failedCanceled := 0, 0, 0
+		var nodesTotal int
+		for g, tk := range tickets {
+			st, werr := tk.Wait()
+			var ce *core.ComputeError
+			switch {
+			case werr == nil:
+				completedOK++
+				if plan.Fault(g) != chaos.Cancel {
+					nodesTotal += st.NodesCreated
+				}
+			case errors.As(werr, &ce):
+				failedCompute++
+			case errors.Is(werr, core.ErrCanceled):
+				failedCanceled++
+			default:
+				e.Close()
+				return nil, fmt.Errorf("wait graph %d: unexpected failure %w", g, werr)
+			}
+		}
+		exactlyOnce := 1.0
+		for g := 0; g < faultGraphs; g++ {
+			if f := plan.Fault(g); f == chaos.Panic || f == chaos.Cancel {
+				continue
+			}
+			for k := g * faultStride; k < (g+1)*faultStride; k++ {
+				if counts[k].Load() != 1 {
+					exactlyOnce = 0
+				}
+			}
+		}
+		reusable := 0.0
+		for g := 0; g < faultGraphs; g++ {
+			if plan.Fault(g) == chaos.None {
+				if _, err := e.Execute(submitConeSink(g, faultWidth)); err == nil {
+					reusable = 1.0
+				}
+				break
+			}
+		}
+		e.Close()
+		t.AddRow(itoa(workers), map[string]float64{
+			"completed_ok":         float64(completedOK),
+			"failed_compute_error": float64(failedCompute),
+			"failed_canceled":      float64(failedCanceled),
+			"healthy_exactly_once": exactlyOnce,
+			"healthy_nodes_total":  float64(nodesTotal),
+			"reusable_after":       reusable,
+		})
+	}
+	return t, nil
+}
+
+// faultScheduleHashes runs the forest sequentially (Submit then Wait,
+// one worker) on a single engine and returns the per-graph completion
+// hash for every graph that completed, keyed by graph index. compute is
+// the engine's full Compute (chaos wrapping included); graphs the plan
+// fails simply have no entry.
+func faultScheduleHashes(cfg Config, compute func(core.Key), cancels []chan *core.Ticket) (map[int]uint64, error) {
+	h := fnv.New64a()
+	var buf [16]byte
+	record := func(w int, k core.Key) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(w) >> (8 * i))
+			buf[8+i] = byte(uint64(k) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	spec := submitConeSpec(faultGraphs, faultWidth, 1, compute)
+	e, err := core.NewEngine(spec, core.Options{
+		Workers: 1, Policy: cfg.policy(core.NabbitCPolicy()), OnComplete: record,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	out := make(map[int]uint64, faultGraphs)
+	for g := 0; g < faultGraphs; g++ {
+		h.Reset()
+		tk, err := e.Submit(submitConeSink(g, faultWidth))
+		if err != nil {
+			return nil, fmt.Errorf("submit graph %d: %w", g, err)
+		}
+		if cancels != nil {
+			cancels[g] <- tk
+		}
+		if _, werr := tk.Wait(); werr == nil {
+			out[g] = h.Sum64()
+		}
+	}
+	return out, nil
+}
+
+// faultsIdentityTable pins the two scheduling-identity claims: rate-0
+// chaos is invisible, and healthy graphs scheduled after failures hash
+// identically to the same graphs on a never-failed engine.
+func faultsIdentityTable(cfg Config) (*perf.Table, error) {
+	t := perf.NewTable("faults/identity",
+		"Faults (1 worker): rate-0 chaos is a scheduling no-op, and schedules survive prior failures byte-identically",
+		"check",
+		perf.M("graphs_compared", "", perf.Neutral),
+		perf.M("schedules_match", "", perf.HigherIsBetter))
+
+	plain, err := faultScheduleHashes(cfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	zeroInj := &chaos.Injector{Plan: chaos.NewPlan(faultSeed, 0), Stride: faultStride}
+	zero, err := faultScheduleHashes(cfg, zeroInj.Compute(nil), nil)
+	if err != nil {
+		return nil, err
+	}
+	zeroMatch := 1.0
+	if len(zero) != len(plain) {
+		zeroMatch = 0
+	}
+	for g, hv := range plain {
+		if zero[g] != hv {
+			zeroMatch = 0
+		}
+	}
+	t.AddRow("rate0-noop", map[string]float64{
+		"graphs_compared": float64(len(plain)),
+		"schedules_match": zeroMatch,
+	})
+
+	// The poisoned engine absorbs every panic and cancellation the
+	// census plan injects, interleaved with the healthy graphs; those
+	// healthy graphs must still hash exactly like the clean run's.
+	plan := faultPlan()
+	tkCh := make([]chan *core.Ticket, faultGraphs)
+	for g := range tkCh {
+		tkCh[g] = make(chan *core.Ticket, 1)
+	}
+	inj := &chaos.Injector{
+		Plan:     plan,
+		Stride:   faultStride,
+		OnCancel: func(g int) { (<-tkCh[g]).Cancel() },
+	}
+	poisoned, err := faultScheduleHashes(cfg, inj.Compute(nil), tkCh)
+	if err != nil {
+		return nil, err
+	}
+	compared, match := 0, 1.0
+	for g := 0; g < faultGraphs; g++ {
+		if f := plan.Fault(g); f == chaos.Panic || f == chaos.Cancel {
+			continue
+		}
+		compared++
+		if poisoned[g] != plain[g] {
+			match = 0
+		}
+	}
+	t.AddRow("post-failure", map[string]float64{
+		"graphs_compared": float64(compared),
+		"schedules_match": match,
+	})
+	return t, nil
+}
+
+// faultsReport builds the failure-model report.
+func faultsReport(cfg Config) (*perf.Report, error) {
+	rep := cfg.newReport("faults")
+	ct, err := faultsCensusTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(ct)
+	it, err := faultsIdentityTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(it)
+	return rep, nil
+}

@@ -132,6 +132,7 @@ var experiments = []struct {
 	{"persist", persistReport},
 	{"submit", submitReport},
 	{"steal", stealReport},
+	{"faults", faultsReport},
 }
 
 // Experiments lists the runnable experiment names.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
@@ -327,7 +328,18 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 	for !e.done {
 		ev, ok := e.evq.pop()
 		if !ok {
-			return nil, fmt.Errorf("sim: event queue drained before sink %d computed (dependence deadlock?)", sink)
+			// Dependence deadlock: nothing executing, nothing stealable,
+			// no event to make progress. Report the same typed stall
+			// diagnostic as the real engine, naming the nodes that were
+			// created but never computed (a cycle's members and their
+			// downstream).
+			pend := e.pendingKeys()
+			se := &core.StallError{Sink: sink, PendingTotal: len(pend)}
+			if len(pend) > core.StallPendingMax {
+				pend = pend[:core.StallPendingMax]
+			}
+			se.Pending = pend
+			return nil, se
 		}
 		w := e.workers[ev.wid]
 		switch ev.kind {
@@ -351,6 +363,29 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 		res.Workers[i] = w.stats
 	}
 	return res, nil
+}
+
+// pendingKeys lists created-but-never-computed nodes, sorted — the
+// drained-queue stall diagnostic, mirroring the real engine's
+// nodeTable.pendingKeys.
+func (e *engine) pendingKeys() []core.Key {
+	var keys []core.Key
+	if e.arena != nil {
+		for i := range e.arena {
+			n := &e.arena[i]
+			if n.created && !n.computed {
+				keys = append(keys, n.key)
+			}
+		}
+	} else {
+		for k, n := range e.nodes {
+			if !n.computed {
+				keys = append(keys, k)
+			}
+		}
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 func (e *engine) getOrCreate(k core.Key) (*node, bool) {
@@ -556,7 +591,11 @@ func (e *engine) acquire(w *worker, t int64) {
 		ent, ok := w.dq.popBottom()
 		if !ok {
 			if len(e.workers) == 1 {
-				panic("sim: single worker idle before completion (dependence deadlock)")
+				// A lone worker with an empty deque and no completion in
+				// flight can never make progress (dependence deadlock);
+				// schedule nothing and let the drained event queue report
+				// the stall as a typed error.
+				return
 			}
 			e.evq.push(t+e.opts.Cost.StealAttemptCost, w.id, evSteal)
 			return
@@ -713,10 +752,15 @@ func (e *engine) scheduleNextProbe(w *worker, t int64) {
 	m := e.opts.Cost
 	next := t + m.StealAttemptCost
 	if !e.anyStealable() {
-		if c, busy := e.earliestCompletion(); busy && c+1 > next {
+		c, busy := e.earliestCompletion()
+		if !busy {
+			// Every worker idle, every deque empty, nothing executing:
+			// a dependence deadlock. Stop scheduling probes so the event
+			// queue drains and Run reports the typed stall error.
+			return
+		}
+		if c+1 > next {
 			next = c + 1
-		} else if !busy {
-			panic("sim: all workers idle with empty deques before completion")
 		}
 	}
 	e.evq.push(next, w.id, evSteal)

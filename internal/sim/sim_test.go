@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"slices"
 	"testing"
 
 	"nabbitc/internal/core"
@@ -349,11 +351,6 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestCycleDeadlockDetected(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cyclic graph did not panic")
-		}
-	}()
 	spec := core.FuncSpec{
 		PredsFn: func(k core.Key) []core.Key {
 			// 1 <-> 2 cycle below sink 0.
@@ -368,7 +365,26 @@ func TestCycleDeadlockDetected(t *testing.T) {
 		},
 		FootprintFn: func(core.Key) core.Footprint { return core.Footprint{Compute: 1} },
 	}
-	Run(spec, 0, Options{Workers: 1, Policy: core.NabbitPolicy()})
+	// Both worker counts exercise the deadlock exits: the lone worker's
+	// empty-deque fast path and the multi-worker drained event queue.
+	for _, workers := range []int{1, 4} {
+		_, err := Run(spec, 0, Options{Workers: workers, Policy: core.NabbitPolicy()})
+		if err == nil {
+			t.Fatalf("workers=%d: cyclic graph did not error", workers)
+		}
+		if !errors.Is(err, core.ErrStalled) {
+			t.Fatalf("workers=%d: err = %v, want errors.Is(err, core.ErrStalled)", workers, err)
+		}
+		var se *core.StallError
+		if !errors.As(err, &se) {
+			t.Fatalf("workers=%d: err %T does not unwrap to *core.StallError", workers, err)
+		}
+		want := []core.Key{0, 1, 2} // the whole graph hangs below the cycle
+		if se.Sink != 0 || se.PendingTotal != len(want) || !slices.Equal(se.Pending, want) {
+			t.Fatalf("workers=%d: stall diagnostics = sink %d pending %v (total %d), want pending %v",
+				workers, se.Sink, se.Pending, se.PendingTotal, want)
+		}
+	}
 }
 
 func TestSingleNode(t *testing.T) {
