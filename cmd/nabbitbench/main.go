@@ -21,10 +21,13 @@
 // The experiment and bench modes accept -cpuprofile/-memprofile to write
 // pprof profiles of the run alongside its report output, -seed to
 // override the scheduling seed (checked-in baselines use the default),
-// and -iterations to size the persistent-engine reuse measurements (the
-// persist experiment / the bench mode's wallclock persist rows). All
-// flags are validated before any workload runs, including that -out's
-// parent directory exists.
+// -iterations to size the persistent-engine reuse measurements (the
+// persist experiment / the bench mode's wallclock persist rows), and the
+// chaos trio -fault-rate/-fault-kinds/-retries to override the fault
+// injection of the retry experiment and to arm it in the bench mode's
+// submit table (baselines use the defaults). All flags are validated
+// before any workload runs, including that -out's parent directory
+// exists.
 //
 // Exit codes: 0 success, 1 perf regression (compare), 2 usage or schema
 // error.
@@ -34,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -44,6 +48,7 @@ import (
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/chaos"
 	"nabbitc/internal/core"
 	"nabbitc/internal/harness"
 	"nabbitc/internal/perf"
@@ -106,6 +111,32 @@ func checkIterations(iters int) error {
 		return fmt.Errorf("bad iteration count %d (max %d)", iters, max)
 	}
 	return nil
+}
+
+// faultFlags registers the chaos-injection flags shared by the
+// experiment and bench modes — -fault-rate, -fault-kinds, -retries —
+// and returns a hook that validates them up front (exit-2 material,
+// before any workload runs) and resolves the override set.
+func faultFlags(fs *flag.FlagSet) (resolve func() (rate float64, rateSet bool, kinds []chaos.Kind, retries int, err error)) {
+	rate := fs.Float64("fault-rate", -1,
+		"chaos fault-injection rate in [0, 1] (retry experiment / bench submit table; negative = keep defaults)")
+	kindsFlag := fs.String("fault-kinds", "",
+		"comma-separated chaos fault kinds to inject (panic, delay, cancel, error, transient, hang; default transient)")
+	retries := fs.Int("retries", 0,
+		fmt.Sprintf("per-node attempt budget for fault-injected runs (0 = default 3, max %d)", core.MaxRetryAttempts))
+	return func() (float64, bool, []chaos.Kind, int, error) {
+		if math.IsNaN(*rate) || *rate > 1 {
+			return 0, false, nil, 0, fmt.Errorf("bad fault rate %v (must be in [0, 1], or negative to keep defaults)", *rate)
+		}
+		kinds, err := chaos.ParseKinds(*kindsFlag)
+		if err != nil {
+			return 0, false, nil, 0, err
+		}
+		if *retries < 0 || *retries > core.MaxRetryAttempts {
+			return 0, false, nil, 0, fmt.Errorf("bad retry budget %d (must be in [0, %d]; 0 = default)", *retries, core.MaxRetryAttempts)
+		}
+		return *rate, *rate >= 0, kinds, *retries, nil
+	}
 }
 
 // checkWorkers validates a -workers value (0 = auto).
@@ -195,6 +226,7 @@ func runExperiments(args []string) int {
 	iterations := fs.Int("iterations", 0,
 		"engine-reuse iterations for the persist experiment (0 = default 4)")
 	out := fs.String("out", "", "write output to this file instead of stdout")
+	faultResolve := faultFlags(fs)
 	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -216,11 +248,16 @@ func runExperiments(args []string) int {
 	if err := checkIterations(*iterations); err != nil {
 		return fail(2, "%v", err)
 	}
+	faultRate, faultRateSet, faultKinds, retries, err := faultResolve()
+	if err != nil {
+		return fail(2, "%v", err)
+	}
 	if err := checkOutPath(*out); err != nil {
 		return fail(2, "%v", err)
 	}
 	cfg := harness.Config{
 		CSV: *csv, Format: *format, Seed: uint64(*seed), Deque: dq, Iterations: *iterations,
+		FaultRate: faultRate, FaultRateSet: faultRateSet, FaultKinds: faultKinds, Retries: retries,
 	}
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -349,6 +386,7 @@ func runBench(args []string) int {
 		"engine-reuse iterations for the persist rows (0 = default 8, negative disables)")
 	rev := fs.String("rev", "", "revision stamp (default: git short hash, else \"local\")")
 	out := fs.String("out", "", "output file (default BENCH_<rev>.json)")
+	faultResolve := faultFlags(fs)
 	profStart, profFinish := profileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -369,12 +407,17 @@ func runBench(args []string) int {
 			return fail(2, "%v", err)
 		}
 	}
+	faultRate, faultRateSet, faultKinds, retries, err := faultResolve()
+	if err != nil {
+		return fail(2, "%v", err)
+	}
 	if err := checkOutPath(*out); err != nil {
 		return fail(2, "%v", err)
 	}
 	cfg := harness.WallclockConfig{
 		Workers: *workers, Repeats: *repeats, Revision: *rev,
 		Seed: uint64(*seed), Deque: dq, Iterations: *iterations,
+		FaultRate: faultRate, FaultRateSet: faultRateSet, FaultKinds: faultKinds, Retries: retries,
 	}
 	sc, err := parseScale(*scale)
 	if err != nil {

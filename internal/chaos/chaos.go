@@ -1,19 +1,28 @@
 // Package chaos provides deterministic fault injection for the engine's
 // failure model: a seeded Plan assigns each graph of a workload at most
-// one fault — a panic inside Compute, an artificial delay, or a
-// cancellation fired from inside Compute — as a pure function of (seed,
-// graph index). The same seed always poisons the same graphs at the same
-// nodes, so the faults harness experiment and the -race stress tests are
+// one fault — a panic inside Compute, an artificial delay, a
+// cancellation fired from inside Compute, a hard or transient compute
+// error, or a hang — as a pure function of (seed, graph index). The
+// same seed always poisons the same graphs at the same nodes, so the
+// faults/retry harness experiments and the -race stress tests are
 // reproducible, and a plan at rate 0 is byte-for-byte a no-op.
 package chaos
 
 import (
+	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"nabbitc/internal/core"
 	"nabbitc/internal/xrand"
 )
+
+// ErrInjected classifies every error fault the injector produces, so
+// tests and reports can tell injected failures from real ones with
+// errors.Is.
+var ErrInjected = errors.New("chaos: injected compute error")
 
 // Kind is the fault injected into one graph.
 type Kind int
@@ -30,6 +39,19 @@ const (
 	// target node's Compute, modelling a tenant abandoning its graph
 	// mid-flight.
 	Cancel
+	// Error makes the target node's ComputeErr fail (wrapping
+	// ErrInjected) on every attempt: retries never help, so the graph
+	// fails with an exhausted-budget *core.ComputeError — or degrades,
+	// if the node is optional and the run has error budget.
+	Error
+	// Transient makes the target node's ComputeErr fail its first
+	// Injector.TransientFails attempts and then succeed — the
+	// retry-layer workhorse: with MaxAttempts > TransientFails the graph
+	// completes and Stats.Retries counts exactly the injected failures.
+	Transient
+	// Hang blocks the target node's compute (on Injector.HangCh when
+	// set, else for Injector.HangDur) — watchdog fodder.
+	Hang
 )
 
 func (k Kind) String() string {
@@ -42,8 +64,41 @@ func (k Kind) String() string {
 		return "delay"
 	case Cancel:
 		return "cancel"
+	case Error:
+		return "error"
+	case Transient:
+		return "transient"
+	case Hang:
+		return "hang"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind maps a fault name to its Kind, for CLI flags.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{None, Panic, Delay, Cancel, Error, Transient, Hang} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return None, fmt.Errorf("chaos: unknown fault kind %q (want none, panic, delay, cancel, error, transient, or hang)", s)
+}
+
+// ParseKinds parses a comma-separated fault-kind list ("panic,transient").
+func ParseKinds(s string) ([]Kind, error) {
+	var kinds []Kind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // Value is the payload a chaos-injected panic carries, identifying the
@@ -109,6 +164,15 @@ func (p *Plan) Target(graph, nodes int) int {
 // short enough to keep chaos runs fast.
 const DefaultDelay = 50 * time.Microsecond
 
+// DefaultTransientFails is how many attempts a Transient fault fails
+// before succeeding, when the Injector does not override it.
+const DefaultTransientFails = 2
+
+// DefaultHangDur is the blocked duration of a Hang fault when the
+// Injector provides no HangCh override: comfortably past any test's
+// NodeTimeout, short enough that an unwatched engine still drains.
+const DefaultHangDur = 50 * time.Millisecond
+
 // Injector wires a Plan into a spec whose keys form a forest of
 // per-graph ranges: key k belongs to graph k/Stride at ordinal k%Stride
 // (the cone-forest layout the multi-tenant tests and harness use). Wrap
@@ -124,11 +188,44 @@ type Injector struct {
 	OnCancel func(graph int)
 	// Delay overrides DefaultDelay for Delay faults when positive.
 	Delay time.Duration
+	// TransientFails overrides DefaultTransientFails for Transient
+	// faults when positive: the number of attempts that fail before the
+	// node succeeds.
+	TransientFails int
+	// HangCh, when set, is what Hang faults block on — tests close it
+	// to release every stuck compute at a chosen moment. When nil, Hang
+	// sleeps HangDur (or DefaultHangDur).
+	HangCh <-chan struct{}
+	// HangDur overrides DefaultHangDur for channel-less Hang faults
+	// when positive.
+	HangDur time.Duration
+
+	// mu guards attempts, the per-key failed-attempt counts behind
+	// Transient faults (lazily allocated: plans without Transient never
+	// touch it).
+	mu       sync.Mutex
+	attempts map[core.Key]int
 }
 
-// Compute wraps base with the injector's faults; base may be nil.
+// Compute wraps base with the injector's faults; base may be nil. Kinds
+// that need the fallible path to be survivable (Error, Transient)
+// degrade to panics here — a plain Spec has no error channel, so the
+// panic-isolation boundary is where they land.
 func (in *Injector) Compute(base func(core.Key)) func(core.Key) {
+	fn := in.ComputeErr(base)
 	return func(k core.Key) {
+		if err := fn(k); err != nil {
+			panic(Value{Graph: int(k) / in.Stride, Key: k})
+		}
+	}
+}
+
+// ComputeErr wraps base as a FallibleSpec compute: Error and Transient
+// faults return errors wrapping ErrInjected (Transient succeeding once
+// its budgeted failures are spent), Hang blocks, and the panic-era
+// kinds behave exactly as in Compute. base may be nil.
+func (in *Injector) ComputeErr(base func(core.Key)) func(core.Key) error {
+	return func(k core.Key) error {
 		g, ord := int(k)/in.Stride, int(k)%in.Stride
 		if fault := in.Plan.Fault(g); fault != None && ord == in.Plan.Target(g, in.Stride) {
 			switch fault {
@@ -144,10 +241,52 @@ func (in *Injector) Compute(base func(core.Key)) func(core.Key) {
 				if in.OnCancel != nil {
 					in.OnCancel(g)
 				}
+			case Error:
+				return fmt.Errorf("graph %d node %d: %w", g, k, ErrInjected)
+			case Transient:
+				tf := in.TransientFails
+				if tf <= 0 {
+					tf = DefaultTransientFails
+				}
+				if in.failAttempt(k) <= tf {
+					return fmt.Errorf("graph %d node %d transient: %w", g, k, ErrInjected)
+				}
+			case Hang:
+				if in.HangCh != nil {
+					<-in.HangCh
+				} else {
+					d := in.HangDur
+					if d <= 0 {
+						d = DefaultHangDur
+					}
+					time.Sleep(d)
+				}
 			}
 		}
 		if base != nil {
 			base(k)
 		}
+		return nil
 	}
+}
+
+// failAttempt counts one attempt at a Transient-faulted key and returns
+// the running total.
+func (in *Injector) failAttempt(k core.Key) int {
+	in.mu.Lock()
+	if in.attempts == nil {
+		in.attempts = make(map[core.Key]int)
+	}
+	in.attempts[k]++
+	n := in.attempts[k]
+	in.mu.Unlock()
+	return n
+}
+
+// Reset forgets Transient attempt history, so a reused injector faults
+// fresh runs exactly as it faulted the first.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	clear(in.attempts)
+	in.mu.Unlock()
 }

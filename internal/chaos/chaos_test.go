@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nabbitc/internal/chaos"
 	"nabbitc/internal/core"
@@ -101,6 +102,146 @@ func TestValueRoundTrip(t *testing.T) {
 	}
 	if ce.Key != want.Key {
 		t.Fatalf("ComputeError.Key = %d, want %d", ce.Key, want.Key)
+	}
+}
+
+// TestTransientChaos is the -race recovery workout for the retry-era
+// fault kinds: a seeded plan poisons concurrently submitted graphs with
+// transient failures (recover under MaxAttempts > TransientFails),
+// permanent errors (exhaust the budget into *ComputeError wrapping
+// ErrInjected), and hangs (killed by the NodeTimeout watchdog into
+// *TimeoutError). Recovered and healthy graphs complete exactly-once,
+// Stats.Retries ledgers exactly the injected transient failures, and
+// the engine stays reusable.
+func TestTransientChaos(t *testing.T) {
+	const (
+		graphs  = 32
+		width   = 16
+		stride  = width + 1
+		workers = 4
+		seed    = 0xBAD0001
+		rate    = 0.5
+	)
+	plan := chaos.NewPlan(seed, rate, chaos.Transient, chaos.Error, chaos.Hang)
+	kindCount := map[chaos.Kind]int{}
+	for g := 0; g < graphs; g++ {
+		kindCount[plan.Fault(g)]++
+	}
+	for _, k := range []chaos.Kind{chaos.None, chaos.Transient, chaos.Error, chaos.Hang} {
+		if kindCount[k] == 0 {
+			t.Fatalf("seed %#x assigns no %v graphs — pick a seed covering all kinds", seed, k)
+		}
+	}
+	// Every hang target must get a worker so its watchdog can fire: with
+	// a hang occupying its worker until released, that needs fewer hang
+	// graphs than workers.
+	if kindCount[chaos.Hang] >= workers {
+		t.Fatalf("seed %#x assigns %d hang graphs, want < %d workers", seed, kindCount[chaos.Hang], workers)
+	}
+
+	counts := make([]atomic.Int32, graphs*stride)
+	hangCh := make(chan struct{})
+	inj := &chaos.Injector{Plan: plan, Stride: stride, HangCh: hangCh}
+	spec := coneSpec(graphs, width, workers, nil)
+	spec.ComputeErrFn = inj.ComputeErr(func(k core.Key) {
+		counts[int(k)].Add(1)
+	})
+	e, err := core.NewEngine(spec, core.Options{
+		Workers: workers, Policy: core.NabbitCPolicy(), MaxInflight: 16,
+		Retry:       core.RetryPolicy{MaxAttempts: chaos.DefaultTransientFails + 1, BaseBackoff: 100 * time.Microsecond, Multiplier: 2, Jitter: 0.5},
+		NodeTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := sync.OnceFunc(func() { close(hangCh) })
+	defer e.Close()
+	defer release() // LIFO: free stuck workers before Close drains
+
+	tickets := make([]*core.Ticket, graphs)
+	for g := 0; g < graphs; g++ {
+		if tickets[g], err = e.Submit(coneSink(g, stride)); err != nil {
+			t.Fatalf("submit graph %d: %v", g, err)
+		}
+	}
+	// Hang graphs first: the watchdog fails each from the monitor
+	// goroutine even while the stuck computes pin their workers. Only
+	// then release the hangs — the late returns land on dead runs and
+	// are dropped.
+	for g := 0; g < graphs; g++ {
+		if plan.Fault(g) != chaos.Hang {
+			continue
+		}
+		_, werr := tickets[g].Wait()
+		var te *core.TimeoutError
+		if !errors.As(werr, &te) || !te.Node {
+			t.Fatalf("hang graph %d: err = %v, want node-level *TimeoutError", g, werr)
+		}
+	}
+	release()
+	var retries int64
+	for g := 0; g < graphs; g++ {
+		if plan.Fault(g) == chaos.Hang {
+			continue
+		}
+		st, werr := tickets[g].Wait()
+		switch plan.Fault(g) {
+		case chaos.Error:
+			var ce *core.ComputeError
+			if !errors.As(werr, &ce) || !errors.Is(werr, chaos.ErrInjected) {
+				t.Fatalf("error graph %d: err = %v, want *ComputeError wrapping ErrInjected", g, werr)
+			}
+			if want := core.Key(g*stride + plan.Target(g, stride)); ce.Key != want {
+				t.Fatalf("error graph %d: ComputeError.Key = %d, want %d", g, ce.Key, want)
+			}
+		default:
+			if werr != nil {
+				t.Fatalf("%v graph %d failed: %v", plan.Fault(g), g, werr)
+			}
+			retries += st.Retries
+		}
+	}
+	// Every transient graph retried exactly TransientFails times; nothing
+	// else retried.
+	var wantRetries int64
+	for g := 0; g < graphs; g++ {
+		if plan.Fault(g) == chaos.Transient {
+			wantRetries += chaos.DefaultTransientFails
+		}
+	}
+	if retries != wantRetries {
+		t.Fatalf("Stats.Retries total = %d, want %d", retries, wantRetries)
+	}
+	for g := 0; g < graphs; g++ {
+		target := g*stride + plan.Target(g, stride)
+		for k := g * stride; k < (g+1)*stride; k++ {
+			c := counts[k].Load()
+			switch plan.Fault(g) {
+			case chaos.None, chaos.Transient:
+				// Failed transient attempts return before the base body.
+				if c != 1 {
+					t.Fatalf("%v graph %d key %d computed %d times, want 1", plan.Fault(g), g, k, c)
+				}
+			case chaos.Error, chaos.Hang:
+				if c > 1 || (k == target && c != 0) {
+					t.Fatalf("%v graph %d key %d computed %d times", plan.Fault(g), g, k, c)
+				}
+			}
+		}
+	}
+	// Reusable after the carnage: transient budgets are spent, so a
+	// formerly-transient graph now runs clean.
+	for g := 0; g < graphs; g++ {
+		if plan.Fault(g) == chaos.Transient {
+			st, err := e.Execute(coneSink(g, stride))
+			if err != nil {
+				t.Fatalf("Execute after transient chaos: %v", err)
+			}
+			if st.Retries != 0 {
+				t.Fatalf("post-chaos Execute Retries = %d, want 0", st.Retries)
+			}
+			break
+		}
 	}
 }
 

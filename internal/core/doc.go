@@ -35,11 +35,11 @@
 // concurrently and let workers interleave.
 //
 // Between graphs a node table must forget the previous occupant. The
-// dense arena does this in O(1): the node state word reserves bits 2..30
+// dense arena does this in O(1): the node state word reserves bits 6..30
 // for an epoch stamp, every lifecycle transition preserves the stamp,
 // and reset just bumps the arena's current epoch — a slot stamped with
 // any other epoch reads as absent, so there is no per-slot clearing loop
-// (the 29-bit stamp wraps once per 2^29 resets, at which point slots are
+// (the 25-bit stamp wraps once per 2^25 resets, at which point slots are
 // cleared the slow way once). The sharded map clears its shards in
 // place, keeping their buckets warm. Successor-list backing arrays
 // survive the same way: markComputed truncates instead of dropping them,
@@ -221,11 +221,73 @@
 // reusable: the failed graph's partial results; resubmitting the same
 // sink re-explores the graph from scratch in a new epoch.
 //
-// Every failure is typed: *ComputeError for recovered panics, ErrCanceled
-// (wrapped with the graph id and the context cause) for Cancel and
-// context expiry, *StallError — carrying a bounded sample of the
-// still-pending keys — for graphs whose sink can provably never compute,
-// and ErrClosed/ErrSaturated for lifecycle and admission refusals. All
-// compose with errors.Is/errors.As. Package chaos provides the seeded
+// Every failure is typed: *ComputeError for recovered panics and
+// exhausted retries, ErrCanceled (wrapped with the graph id and the
+// context cause) for Cancel and context expiry, *TimeoutError for
+// watchdog kills, *PartialError for degraded completions, *StallError —
+// carrying a bounded sample of the still-pending keys — for graphs
+// whose sink can provably never compute, and ErrClosed/ErrSaturated for
+// lifecycle and admission refusals. All compose with
+// errors.Is/errors.As. Package chaos provides the seeded
 // fault-injection harness that drives this model deterministically.
+//
+// # Design note: transient-fault recovery
+//
+// Faults in long-running graph services are often transient — a remote
+// fetch times out, a resource is briefly contended — so killing the
+// graph on first failure wastes everything already computed. Three
+// cooperating mechanisms make failure survivable without giving up the
+// model above.
+//
+// Retry with backoff. A spec that implements FallibleSpec (ComputeErr
+// returning error; FuncSpec.ComputeErrFn) reports failures as values
+// instead of panics. Under Options.Retry, a failed attempt re-arms the
+// node in its lifecycle word: the word reserves bits 2..4 as an attempt
+// counter, and bumpAttempt CASes the counter up while rolling the phase
+// back to ready — the same single-word protocol as the rest of the
+// lifecycle, so no new per-node storage. (Like setSkip, the CAS never
+// lands while succLockBit is held: the holder's unlock store would
+// erase the update.) The re-armed node is then re-enqueued after a
+// deterministic backoff — base × multiplier^attempt, jittered by the
+// engine-seeded xrand stream — via a timer that appends to an engine
+// retry queue; workers drain the queue on the same park/wake protocol
+// as fresh submissions, so a retry behaves exactly like newly
+// discovered work. When the counter reaches MaxAttempts the failure
+// becomes a *ComputeError carrying the attempt count and wrapping both
+// ErrComputeFailed and the spec's own error chain. Re-running an
+// attempted node is safe by the same argument as panic isolation: a
+// failed attempt performed no markComputed, so no successor ever
+// observed it.
+//
+// The hang watchdog. A Compute that never returns cannot be recovered
+// by retries — nothing unwinds. Instead, each worker publishes its
+// current execution (run, node, start time) in a per-worker seqlock
+// before every Compute and clears it after; a lock-free monitor
+// goroutine, started only when Options.NodeTimeout or RunDeadline is
+// set, samples the publications on a period derived from the smaller
+// limit. An overdue node (or an overdue run) is failed through the same
+// single-completion CAS as every other failure — the monitor never
+// touches the stuck goroutine, which keeps running until user code
+// returns; its eventual completion lands on a dead run and is dropped
+// at the exec boundary like any canceled item. The publication holds
+// the *Node pointer rather than a key so a recycled table can never
+// make the monitor resolve a stale key in a fresh graph. One
+// consequence: an Execute whose run was hang-degraded skips the
+// quiescence-gated per-worker stats gather (Workers stays nil, as in
+// Submit mode), because quiescing would wait on the stuck goroutine.
+//
+// Graceful degradation. A spec may mark nodes optional (OptionalSpec /
+// FuncSpec.OptionalFn): best-effort enrichments whose loss should
+// narrow the result, not destroy it. When an optional node exhausts its
+// retries (or overruns NodeTimeout) and the run still has error budget
+// (Options.ErrorBudget, per run, spent by atomic decrement), the node
+// is not failed — it is skipped: nodeSkipBit is set on it and
+// propagated through its successor cone by the normal join-counter
+// cascade, so exactly the data-dependent downstream nodes are retired
+// unexecuted and independent subgraphs proceed untouched. A degraded
+// run completes with both Stats (Retries, TimedOut, Skipped ledgered)
+// and a *PartialError listing the failed keys and a bounded sample of
+// the skipped ones. A skipped sink still completes the run — degraded,
+// not failed. Budget exhausted means the next permanent failure fails
+// the run with its ordinary typed error.
 package core

@@ -37,7 +37,14 @@ import (
 // Close releases the worker goroutines after draining in-flight graphs —
 // every NewEngine must be paired with a Close.
 type Engine struct {
-	spec    Spec
+	spec Spec
+	// fspec/ospec are the spec's fallible and optional faces, resolved
+	// once at construction (nil when the spec does not implement them):
+	// with fspec set the workers call ComputeErr instead of Compute and
+	// retry failures under opts.Retry; ospec marks nodes whose permanent
+	// failure degrades the graph instead of failing it.
+	fspec   FallibleSpec
+	ospec   OptionalSpec
 	opts    Options
 	dense   bool   // resolved node-table backend
 	backend string // its Stats name
@@ -83,6 +90,27 @@ type Engine struct {
 	// workers to exit once Close has drained the in-flight graphs.
 	closing   atomic.Bool
 	closeFlag atomic.Bool
+
+	// retryMu guards retryQ, the due-retry list: nodes whose failed
+	// ComputeErr attempt has served its backoff and must be re-executed.
+	// retryDue mirrors len(retryQ) and retryOut counts backoff timers
+	// that have not fired yet; both are atomics so the park/bail/stall
+	// conditions can consult them without the lock. All of this is
+	// failure-path state — a run with no failed attempts never touches
+	// it.
+	retryMu  sync.Mutex
+	retryQ   []retryEntry
+	retryDue atomic.Int32
+	retryOut atomic.Int32
+
+	// watchdogOn gates the per-node execution publication (set when
+	// NodeTimeout or RunDeadline is positive); monStop/monWG manage the
+	// monitor goroutine, and monRuns is its private scratch for run
+	// snapshots.
+	watchdogOn bool
+	monStop    chan struct{}
+	monWG      sync.WaitGroup
+	monRuns    []*graphRun
 
 	mu     sync.Mutex // serializes Execute and Close
 	closed bool       // guarded by mu
@@ -216,6 +244,19 @@ type worker struct {
 	// never leak its growths into the next run's delta.
 	lastGrows int64
 
+	// pubSeq/pubRun/pubNode/pubStart publish what this worker is
+	// executing to the hang watchdog through a seqlock: pubSeq is odd
+	// while an update is in flight, so the monitor detects and retries
+	// torn reads without ever making the worker wait (see
+	// publishExec/sampleExec in retry.go). Written only when the engine's
+	// watchdog is armed. The node is published as a pointer, not a key,
+	// so the monitor never has to look into a node table it cannot prove
+	// is still owned by the run.
+	pubSeq   atomic.Uint32
+	pubRun   atomic.Pointer[graphRun]
+	pubNode  atomic.Pointer[Node]
+	pubStart atomic.Int64
+
 	// parkState (0 running, 1 parked) plus the one-token parkCh form the
 	// notify slot. A waker that CASes parkState 1→0 owns the wake and
 	// sends exactly one token; the parked worker consumes exactly one
@@ -247,6 +288,9 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		pending:  make(chan *graphRun, opts.MaxInflight),
 		closedCh: make(chan struct{}),
 	}
+	e.fspec, _ = spec.(FallibleSpec)
+	e.ospec, _ = spec.(OptionalSpec)
+	e.watchdogOn = opts.NodeTimeout > 0 || opts.RunDeadline > 0
 	// Build the first table eagerly: spec problems surface here rather
 	// than on some later Submit, and the single-tenant Execute loop
 	// reuses this one instance forever.
@@ -293,6 +337,11 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		go w.main()
 	}
 	e.startWG.Wait()
+	if e.watchdogOn {
+		e.monStop = make(chan struct{})
+		e.monWG.Add(1)
+		go e.monitor()
+	}
 	return e, nil
 }
 
@@ -311,7 +360,9 @@ func (e *Engine) buildTable() nodeTable {
 // reachable from the sink is computed exactly once, and a task computes
 // only after all its predecessors. The graph must be acyclic (see
 // CheckDAG); a graph whose sink can never compute returns an error and
-// leaves the engine reusable.
+// leaves the engine reusable. A degraded completion (optional nodes
+// skipped under Options.ErrorBudget) returns BOTH non-nil Stats and a
+// non-nil *PartialError naming the failed and skipped nodes.
 //
 // Execute takes exclusive occupancy: it waits for in-flight Submit
 // graphs to drain, then runs alone so the per-worker statistics describe
@@ -390,9 +441,18 @@ func (e *Engine) execute(ctx context.Context, sink Key) (*Stats, error) {
 	// A failed run has no per-worker stats to gather, and waiting for
 	// quiescence here could block on a canceled graph's still-in-flight
 	// Compute; return right away. The next execute/Close quiesces before
-	// touching shared state anyway.
-	if r.err != nil {
+	// touching shared state anyway. A degraded run (non-nil stats AND a
+	// *PartialError) did complete — gather normally and return both.
+	if r.stats == nil {
 		return nil, r.err
+	}
+	// A hang-degraded run leaves the timed-out node's goroutine blocked
+	// in user code; quiescing on it would deadlock until the user's
+	// Compute returns. Skip the per-worker gather (Workers stays nil, as
+	// in Submit mode) and return the graph-level stats; the goroutine's
+	// eventual completion lands on a finished run and is dropped.
+	if r.stats.TimedOut > 0 {
+		return r.stats, r.err
 	}
 	// Quiesce again before gathering: the finishing worker unwinds and
 	// parks after closing done, and stats must not be read mid-write.
@@ -407,7 +467,7 @@ func (e *Engine) execute(ctx context.Context, sink Key) (*Stats, error) {
 		w.stats.DequeGrows = w.dq.Grows() - w.lastGrows
 		st.Workers[i] = w.stats
 	}
-	return st, nil
+	return st, r.err
 }
 
 // lockQuiet acquires stateMu in the engine's quiet state: no graph in
@@ -465,6 +525,13 @@ func (e *Engine) Close() error {
 	e.closeFlag.Store(true)
 	e.wakeAll()
 	e.exitWG.Wait()
+	// Stop the watchdog only after the drain: an in-flight graph hung on
+	// a stuck Compute still needs the monitor to time it out, or the
+	// drain loop above would never see the engine go idle.
+	if e.watchdogOn {
+		close(e.monStop)
+		e.monWG.Wait()
+	}
 	return nil
 }
 
@@ -597,6 +664,9 @@ func (w *worker) main() {
 			if w.trySeed() {
 				continue
 			}
+			if w.tryRetry() {
+				continue
+			}
 		}
 		if ent, ok := w.dq.PopBottom(); ok {
 			w.streak++
@@ -607,6 +677,9 @@ func (w *worker) main() {
 		if w.trySeed() {
 			continue
 		}
+		if w.tryRetry() {
+			continue
+		}
 		if it, ok := w.findWork(); ok {
 			w.exec(it)
 		}
@@ -615,9 +688,11 @@ func (w *worker) main() {
 
 // bail reports whether the worker should abandon its current hunt and
 // return to the main loop: the engine is closing, or a pending graph is
-// waiting to be seeded (seeding beats stealing — it is guaranteed work).
+// waiting to be seeded, or a retry has come due (both beat stealing —
+// they are guaranteed work).
 func (w *worker) bail() bool {
-	return w.e.closeFlag.Load() || len(w.e.pending) > 0
+	e := w.e
+	return e.closeFlag.Load() || len(e.pending) > 0 || e.retryDue.Load() > 0
 }
 
 // trySeed polls the pending queue and, on a hit, roots the graph: create
@@ -688,6 +763,12 @@ func (w *worker) rescue(r *graphRun) {
 	v := recover()
 	if v == nil {
 		return
+	}
+	if w.e.watchdogOn {
+		// A panic can unwind between publishExec and clearExec; a stale
+		// publication would read as an ever-growing execution and make
+		// the monitor re-fire forever.
+		w.clearExec()
 	}
 	w.e.failRun(r, &ComputeError{
 		GraphID: r.id,
@@ -787,7 +868,13 @@ func (w *worker) tryInitCompute(r *graphRun, owner *Node, pkey Key) {
 	if pred.addSuccessor(owner) {
 		return // notification will account this predecessor
 	}
-	// pred had already computed.
+	// pred had already computed. If it was retired skipped (a degraded
+	// cascade ran before this edge registered), no notification will
+	// ever carry the taint to owner — propagate it here, or owner would
+	// execute with a missing input.
+	if pred.state.Load()&nodeSkipBit != 0 {
+		owner.setSkip()
+	}
 	if owner.decJoin() {
 		w.computeAndNotify(r, owner)
 	}
@@ -809,27 +896,62 @@ func (w *worker) initAndCompute(r *graphRun, n *Node) {
 // computeAndNotify executes a ready node, then notifies its successors,
 // spawning any that became ready (grouped by color).
 func (w *worker) computeAndNotify(r *graphRun, n *Node) {
+	w.curKey = n.key
+	e := w.e
+	if n.state.Load()&nodeSkipBit != 0 {
+		// A skipped ancestor tainted this node before its join drained:
+		// retire it without executing and continue the degradation
+		// cascade (see degrade in retry.go).
+		w.skipReady(r, n)
+		return
+	}
+	if e.watchdogOn {
+		w.publishExec(r, n)
+	}
+	var cerr error
+	if e.fspec != nil {
+		cerr = e.fspec.ComputeErr(n.key)
+	} else {
+		e.spec.Compute(n.key)
+	}
+	if e.watchdogOn {
+		w.clearExec()
+		if n.state.Load()&nodeSkipBit != 0 {
+			// The watchdog claimed this node while it ran (it was
+			// overdue): the claim owns the successor notification and
+			// the run's fate, so this late completion is dropped
+			// harmlessly — the paper-facing guarantee that a stuck (or
+			// merely slow) Compute can never corrupt a graph the
+			// watchdog already acted on.
+			return
+		}
+	}
+	if cerr != nil {
+		w.computeFailed(r, n, cerr)
+		return
+	}
+
 	// Locality accounting per the paper (§V-B): one access for the node
 	// itself plus one per predecessor, judged by the data's true home
-	// domain vs. this worker's domain.
-	w.curKey = n.key
-	topo := w.e.opts.Topology
+	// domain vs. this worker's domain. Counted only for the successful
+	// attempt — failed ComputeErr attempts are retry bookkeeping, not
+	// schedule work, and must not inflate the locality tables.
+	topo := e.opts.Topology
 	w.stats.NodesExecuted++
 	if n.color == w.color {
 		w.stats.OwnColorNodes++
 	}
 	w.stats.Accesses.Count(topo, w.color, n.home)
 	for _, pk := range n.preds {
-		w.stats.Accesses.Count(topo, w.color, HomeOf(w.e.spec, pk))
+		w.stats.Accesses.Count(topo, w.color, HomeOf(e.spec, pk))
 	}
 
-	w.e.spec.Compute(n.key)
 	// A Compute can kill its own run (Ticket.Cancel from inside the
 	// callback); once the run is observed dead, no further OnComplete
 	// fires for it — the failed Wait has already returned, and a late
 	// callback would race with whatever the caller does next.
-	if w.e.opts.OnComplete != nil && r.state.Load() == runLive {
-		w.e.opts.OnComplete(w.id, n.key)
+	if e.opts.OnComplete != nil && r.state.Load() == runLive {
+		e.opts.OnComplete(w.id, n.key)
 	}
 
 	succs := n.markComputed()
@@ -948,7 +1070,8 @@ func (w *worker) idleSweep() bool {
 	w.spins = 0
 	e := w.e
 	w.park(func() bool {
-		return e.closeFlag.Load() || len(e.pending) > 0 || e.anyWork()
+		return e.closeFlag.Load() || len(e.pending) > 0 ||
+			e.retryDue.Load() > 0 || e.anyWork()
 	}, nil)
 	return true
 }
@@ -986,7 +1109,8 @@ func (w *worker) hunt() (item, bool) {
 		// graph or close wakes us.
 		w.noteProbeFailed()
 		w.park(func() bool {
-			return e.closeFlag.Load() || len(e.pending) > 0
+			return e.closeFlag.Load() || len(e.pending) > 0 ||
+				e.retryDue.Load() > 0
 		}, nil)
 		return item{}, false
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel failure classes. Every error the engine produces for a run
@@ -26,6 +27,24 @@ var (
 	// cycle or an unsatisfiable predecessor). The concrete error is a
 	// *StallError carrying the pending-node diagnostics.
 	ErrStalled = errors.New("core: graph stalled without computing its sink")
+
+	// ErrComputeFailed classifies runs lost to a node whose compute
+	// could not succeed: a recovered panic, or a FallibleSpec whose
+	// ComputeErr kept failing until Options.Retry was exhausted. The
+	// concrete error is a *ComputeError.
+	ErrComputeFailed = errors.New("core: node compute failed")
+
+	// ErrTimeout classifies runs failed by the watchdog: a node overran
+	// Options.NodeTimeout, or the whole run overran Options.RunDeadline.
+	// The concrete error is a *TimeoutError.
+	ErrTimeout = errors.New("core: graph timed out")
+
+	// ErrPartial classifies runs that completed degraded: every failed
+	// node was optional (OptionalSpec) and within Options.ErrorBudget,
+	// so the sink's cone that survived ran to completion while the
+	// failed nodes' downstream cones were skipped. The concrete error is
+	// a *PartialError, returned alongside non-nil Stats.
+	ErrPartial = errors.New("core: graph completed partially")
 )
 
 // StallPendingMax bounds StallError.Pending: a stalled million-node
@@ -60,22 +79,89 @@ func (e *StallError) Error() string {
 // errors.Is(err, ErrStalled) holds for every stall failure.
 func (e *StallError) Unwrap() error { return ErrStalled }
 
-// ComputeError reports a panic recovered at the engine's isolation
-// boundary: a node's Compute (or a spec callback reached while
-// processing the node — Predecessors, Color, Home, OnComplete) panicked,
-// failing only the owning graph. Key is the node being processed, Value
-// the recovered panic value, and Stack the goroutine stack captured at
-// the recovery point.
+// ComputeError reports a node whose compute could not succeed, failing
+// only the owning graph. Two paths produce it: a panic recovered at the
+// engine's isolation boundary — a node's Compute (or a spec callback
+// reached while processing the node: Predecessors, Color, Home,
+// OnComplete) panicked — and a FallibleSpec whose ComputeErr still
+// failed after Options.Retry was exhausted. Key is the node being
+// processed. For a panic, Value is the recovered panic value and Stack
+// the goroutine stack captured at the recovery point; for an exhausted
+// retry budget, Err is the last error ComputeErr returned and Attempts
+// the number of failed attempts (panics are never retried, so their
+// Attempts is 0).
 type ComputeError struct {
-	GraphID uint64
-	Key     Key
-	Value   any
-	Stack   []byte
+	GraphID  uint64
+	Key      Key
+	Value    any
+	Stack    []byte
+	Err      error
+	Attempts int
 }
 
 func (e *ComputeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: graph %d: node %d failed after %d attempts: %v", e.GraphID, e.Key, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("core: graph %d: panic while processing node %d: %v", e.GraphID, e.Key, e.Value)
 }
+
+// Unwrap ties ComputeError into the sentinel taxonomy:
+// errors.Is(err, ErrComputeFailed) holds for every compute failure, and
+// when an exhausted retry budget carries the underlying compute error,
+// errors.Is/As reach through to it as well.
+func (e *ComputeError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrComputeFailed, e.Err}
+	}
+	return []error{ErrComputeFailed}
+}
+
+// TimeoutError is the watchdog's diagnostic. With Node set, node Key
+// overran Options.NodeTimeout = Limit; otherwise the whole run overran
+// Options.RunDeadline = Limit (and Key is meaningless). It unwraps to
+// ErrTimeout.
+type TimeoutError struct {
+	GraphID uint64
+	Key     Key
+	Node    bool
+	Limit   time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Node {
+		return fmt.Sprintf("core: graph %d: node %d exceeded NodeTimeout %v", e.GraphID, e.Key, e.Limit)
+	}
+	return fmt.Sprintf("core: graph %d exceeded RunDeadline %v", e.GraphID, e.Limit)
+}
+
+// Unwrap ties TimeoutError into the sentinel taxonomy:
+// errors.Is(err, ErrTimeout) holds for every watchdog failure.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// PartialError reports a degraded completion: the run's sink computed
+// (or was itself skipped), Stats are valid, but Failed lists the
+// optional nodes that exhausted their retry budget or were timed out by
+// the watchdog, and Skipped lists the downstream nodes poisoned by
+// those failures — never executed, marked complete so the graph could
+// drain. Both lists are ascending; Skipped is truncated to
+// StallPendingMax entries with the untruncated count in SkippedTotal.
+// It unwraps to ErrPartial.
+type PartialError struct {
+	GraphID      uint64
+	Failed       []Key
+	Skipped      []Key
+	SkippedTotal int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("core: graph %d completed partially: %d failed %v, %d skipped downstream",
+		e.GraphID, len(e.Failed), e.Failed, e.SkippedTotal)
+}
+
+// Unwrap ties PartialError into the sentinel taxonomy:
+// errors.Is(err, ErrPartial) holds for every degraded completion.
+func (e *PartialError) Unwrap() error { return ErrPartial }
 
 // cancelErr builds a run's cancellation error. The result matches
 // errors.Is(err, ErrCanceled); when cause is non-nil (a ctx expiry) it

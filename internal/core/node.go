@@ -19,10 +19,12 @@ const (
 	nodeComputed               // Compute finished; successor list drained
 )
 
-// The state word carves a uint32 into three fields:
+// The state word carves a uint32 into five fields:
 //
 //	bit  31     succLockBit — successor-list claim bit
-//	bits 2..30  epoch stamp — which Engine.Execute the slot belongs to
+//	bits 6..30  epoch stamp — which Engine.Execute the slot belongs to
+//	bit  5      nodeSkipBit — degraded: this node must not execute
+//	bits 2..4   attempt counter — failed ComputeErr attempts so far
 //	bits 0..1   lifecycle phase
 //
 // succLockBit is a short CAS-acquired spin lock guarding succs, orthogonal
@@ -32,6 +34,15 @@ const (
 // markComputed publish "computed, unlocked, drained" in a single atomic
 // store.
 //
+// The attempt counter re-arms a fallible node for retry without any side
+// storage: a failed ComputeErr bumps it (bumpAttempt) and the node —
+// still ready, join already zero — is simply re-enqueued. nodeSkipBit is
+// the graceful-degradation taint: a permanently failed optional node is
+// retired computed+skipped, and the bit propagates to its downstream
+// cone so no descendant executes user code (see Engine.degrade). Both
+// fields are cleared by the computed store (markComputed/claimSkip use
+// epochMask, which masks them out) and by the arena's fresh-epoch fill.
+//
 // The epoch stamp is how the dense arena resets between Execute calls
 // without touching every slot: the arena bumps its current epoch, and any
 // slot whose stamp differs reads as absent (see nodeArena.reset). Within a
@@ -39,10 +50,15 @@ const (
 // addSuccessor never need to know the current epoch. Map-backed nodes are
 // freshly allocated per run and keep stamp 0 forever.
 const (
-	phaseMask   uint32 = 0b11
-	succLockBit uint32 = 1 << 31
-	epochMask   uint32 = ^(phaseMask | succLockBit)
-	epochUnit   uint32 = 1 << 2 // one epoch increment, pre-shifted
+	phaseMask    uint32 = 0b11
+	attemptShift        = 2
+	attemptUnit  uint32 = 1 << attemptShift
+	attemptMask  uint32 = 0b111 << attemptShift
+	attemptMax   uint32 = attemptMask >> attemptShift
+	nodeSkipBit  uint32 = 1 << 5
+	succLockBit  uint32 = 1 << 31
+	epochMask    uint32 = ^(phaseMask | attemptMask | nodeSkipBit | succLockBit)
+	epochUnit    uint32 = 1 << 6 // one epoch increment, pre-shifted
 )
 
 // nodePhase extracts the lifecycle phase from a state-word value.
@@ -154,6 +170,70 @@ func (n *Node) markComputed() []*Node {
 	// run touched carrying that run's epoch.
 	n.state.Store(v&epochMask | nodeComputed)
 	return succs
+}
+
+// bumpAttempt records one failed ComputeErr attempt in the state word
+// and returns the total attempt count including it. The 3-bit counter
+// saturates at attemptMax; a saturated counter reports attemptMax+1
+// (= MaxRetryAttempts), which every legal Options.Retry.MaxAttempts
+// treats as exhausted. Only the worker that owns the node's execution
+// calls this, but the word itself sees concurrent traffic: the CAS must
+// not land while succLockBit is held, because the holder's unlock store
+// writes back its captured pre-lock value and would erase the bump.
+func (n *Node) bumpAttempt() int {
+	for spins := 0; ; spins++ {
+		v := n.state.Load()
+		a := (v & attemptMask) >> attemptShift
+		if a == attemptMax {
+			return int(a) + 1
+		}
+		if v&succLockBit == 0 && n.state.CompareAndSwap(v, v+attemptUnit) {
+			return int(a) + 1
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// setSkip taints the node: a skipped ancestor can no longer produce its
+// inputs, so when this node's join drains it must be retired, not
+// executed. Like bumpAttempt, the CAS waits out a succLockBit holder
+// (whose unlock store would erase a mid-hold write); racing lifecycle
+// transitions are otherwise safe — the computed store clears the bit,
+// and a node both tainted and ready is routed to the skip path at the
+// compute entry point.
+func (n *Node) setSkip() {
+	for spins := 0; ; spins++ {
+		v := n.state.Load()
+		if v&nodeSkipBit != 0 {
+			return
+		}
+		if v&succLockBit == 0 && n.state.CompareAndSwap(v, v|nodeSkipBit) {
+			return
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// claimSkip atomically retires a node that must never execute: the
+// phase becomes computed with nodeSkipBit set (attempt bits cleared,
+// epoch preserved) and the drained successor list is returned for
+// notification, exactly like markComputed. ok=false reports that a
+// racing normal completion already computed the node, in which case
+// nothing was changed and the caller owes no notifications.
+func (n *Node) claimSkip() (succs []*Node, ok bool) {
+	v := n.lockSuccs()
+	if nodePhase(v) == nodeComputed {
+		n.state.Store(v)
+		return nil, false
+	}
+	succs = n.succs
+	n.succs = succs[:0]
+	n.state.Store(v&epochMask | nodeSkipBit | nodeComputed)
+	return succs, true
 }
 
 // decJoin accounts one predecessor and reports whether the node became
@@ -521,9 +601,9 @@ func (a *nodeArena) pendingKeys() []Key {
 }
 
 // reset retires every node by bumping the arena's epoch — O(1), no slot
-// clearing, no allocation. The 29-bit stamp wraps once per 2^29 resets; on
+// clearing, no allocation. The 25-bit stamp wraps once per 2^25 resets; on
 // wrap the (then-ambiguous) slot words are cleared the slow way, so a
-// stamp can never alias a run half a billion executes old.
+// stamp can never alias a run thirty-three million executes old.
 func (a *nodeArena) reset() {
 	e := (a.epoch + epochUnit) & epochMask
 	if e == 0 {

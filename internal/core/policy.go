@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"nabbitc/internal/numa"
 )
@@ -262,6 +263,56 @@ func (a AdmissionPolicy) String() string {
 	}
 }
 
+// MaxRetryAttempts caps RetryPolicy.MaxAttempts: the per-node attempt
+// counter lives in 3 bits of the node lifecycle word (see node.go), so
+// a node can fail at most 8 times before the budget is exhausted.
+const MaxRetryAttempts = 8
+
+// RetryPolicy bounds how a FallibleSpec node's failed attempts are
+// retried. Backoff before attempt n (n ≥ 2) is
+// BaseBackoff × Multiplier^(n-2), jittered by up to ±Jitter of itself
+// with a deterministic hash of (engine seed, key, attempt) — equal
+// seeds back off identically, keeping retried schedules reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per node, including the
+	// first (≤ MaxRetryAttempts). 0 defaults to 1: no retries, a
+	// ComputeErr failure immediately fails (or degrades) the graph.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; 0 re-enqueues
+	// immediately.
+	BaseBackoff time.Duration
+	// Multiplier grows the backoff per subsequent retry; values < 1
+	// (including unset) default to 2.
+	Multiplier float64
+	// Jitter is the fractional spread applied to each backoff, in
+	// [0, 1]: the delay is scaled by a deterministic factor in
+	// [1-Jitter, 1+Jitter].
+	Jitter float64
+}
+
+func (r RetryPolicy) withDefaults() (RetryPolicy, error) {
+	if r.MaxAttempts < 0 {
+		return r, fmt.Errorf("core: negative Retry.MaxAttempts %d", r.MaxAttempts)
+	}
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 1
+	}
+	if r.MaxAttempts > MaxRetryAttempts {
+		return r, fmt.Errorf("core: Retry.MaxAttempts %d exceeds MaxRetryAttempts %d",
+			r.MaxAttempts, MaxRetryAttempts)
+	}
+	if r.BaseBackoff < 0 {
+		return r, fmt.Errorf("core: negative Retry.BaseBackoff %v", r.BaseBackoff)
+	}
+	if r.Jitter < 0 || r.Jitter > 1 {
+		return r, fmt.Errorf("core: Retry.Jitter %v outside [0, 1]", r.Jitter)
+	}
+	if r.Multiplier < 1 {
+		r.Multiplier = 2
+	}
+	return r, nil
+}
+
 // Options configures a run of the real parallel engine.
 type Options struct {
 	// Workers is the number of scheduler workers (the paper's P). Each
@@ -295,6 +346,23 @@ type Options struct {
 	// AdmissionBlock (default) waits for a slot, AdmissionReject fails
 	// fast with ErrSaturated. Execute always blocks.
 	Admission AdmissionPolicy
+	// Retry bounds how failed FallibleSpec attempts are retried (see
+	// RetryPolicy). The zero value means no retries.
+	Retry RetryPolicy
+	// NodeTimeout, when positive, arms the hang watchdog: a node whose
+	// compute runs longer than this fails (or, when optional and within
+	// ErrorBudget, degrades) its owning graph with a *TimeoutError; the
+	// stuck goroutine's eventual return is discarded harmlessly.
+	NodeTimeout time.Duration
+	// RunDeadline, when positive, bounds each run's total wall clock:
+	// an overdue run fails with a *TimeoutError.
+	RunDeadline time.Duration
+	// ErrorBudget is the per-graph count of optional-node permanent
+	// failures (exhausted retries or watchdog timeouts) the run absorbs
+	// by skipping the node's downstream cone instead of failing; such a
+	// run completes with Stats plus a *PartialError. 0 disables
+	// degradation.
+	ErrorBudget int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -319,6 +387,20 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if err := o.Topology.Validate(); err != nil {
 		return o, err
+	}
+	r, err := o.Retry.withDefaults()
+	if err != nil {
+		return o, err
+	}
+	o.Retry = r
+	if o.NodeTimeout < 0 {
+		return o, fmt.Errorf("core: negative NodeTimeout %v", o.NodeTimeout)
+	}
+	if o.RunDeadline < 0 {
+		return o, fmt.Errorf("core: negative RunDeadline %v", o.RunDeadline)
+	}
+	if o.ErrorBudget < 0 {
+		return o, fmt.Errorf("core: negative ErrorBudget %d", o.ErrorBudget)
 	}
 	o.Policy = o.Policy.withDefaults()
 	return o, nil

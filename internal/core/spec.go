@@ -52,6 +52,38 @@ type CostSpec interface {
 	FootprintOf(k Key) Footprint
 }
 
+// FallibleSpec is implemented by specs whose tasks can fail without
+// panicking. When a spec implements it, the engine calls ComputeErr
+// instead of Compute; a non-nil return marks the attempt failed and the
+// node is retried under Options.Retry (deterministic seeded backoff)
+// until the attempt budget is exhausted, at which point the run fails
+// with a *ComputeError — or degrades, if the node is optional
+// (OptionalSpec) and the graph has Options.ErrorBudget left.
+//
+// ComputeErr must be idempotent up to its own side effects: a failed
+// attempt may have run partially, and the engine re-invokes it from
+// scratch. Panics inside ComputeErr keep panic semantics (no retry).
+type FallibleSpec interface {
+	Spec
+	// ComputeErr performs task k, returning nil on success. It runs
+	// once per attempt; attempts beyond the first happen only after a
+	// previous attempt returned an error.
+	ComputeErr(k Key) error
+}
+
+// OptionalSpec marks tasks whose permanent failure should degrade the
+// graph instead of failing it: when an optional node exhausts its retry
+// budget (or is timed out by the watchdog) and the graph still has
+// Options.ErrorBudget, the engine skips the node and poisons only its
+// downstream cone; the run completes with Stats plus a *PartialError.
+// Non-optional nodes always fail the whole graph.
+type OptionalSpec interface {
+	Spec
+	// Optional reports whether task k may be skipped on permanent
+	// failure.
+	Optional(k Key) bool
+}
+
 // HomeSpec is implemented by specs whose data placement differs from the
 // coloring reported to the scheduler. Color is the *hint* the scheduler
 // acts on; Home is where the data actually lives, which drives access
@@ -128,6 +160,14 @@ type FuncSpec struct {
 	ColorFn     func(Key) int
 	ComputeFn   func(Key)
 	FootprintFn func(Key) Footprint
+	// ComputeErrFn, when set, makes the spec's tasks fallible (see
+	// FallibleSpec): the engine calls it instead of ComputeFn and
+	// retries non-nil returns under Options.Retry. When nil, ComputeErr
+	// runs ComputeFn and reports success.
+	ComputeErrFn func(Key) error
+	// OptionalFn, when set, marks tasks skippable on permanent failure
+	// (see OptionalSpec); nil means no task is optional.
+	OptionalFn func(Key) bool
 	// BoundFn, when set, declares the dense key universe [0, BoundFn())
 	// (see BoundedSpec); nil or non-positive means unbounded.
 	BoundFn func() int
@@ -154,6 +194,22 @@ func (s FuncSpec) Compute(k Key) {
 	if s.ComputeFn != nil {
 		s.ComputeFn(k)
 	}
+}
+
+// ComputeErr implements FallibleSpec; a nil ComputeErrFn falls back to
+// Compute and always succeeds.
+func (s FuncSpec) ComputeErr(k Key) error {
+	if s.ComputeErrFn == nil {
+		s.Compute(k)
+		return nil
+	}
+	return s.ComputeErrFn(k)
+}
+
+// Optional implements OptionalSpec; a nil OptionalFn marks nothing
+// optional.
+func (s FuncSpec) Optional(k Key) bool {
+	return s.OptionalFn != nil && s.OptionalFn(k)
 }
 
 // FootprintOf implements CostSpec.

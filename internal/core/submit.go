@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -46,6 +48,81 @@ type graphRun struct {
 	done  chan struct{}
 	stats *Stats
 	err   error
+
+	// Transient-failure bookkeeping (see retry.go); all failure-path —
+	// a healthy run only ever loads the counters once, in finishRun.
+	// retries counts re-enqueued failed attempts; failed is the consumed
+	// error budget (CAS-bounded by Options.ErrorBudget); timedOut counts
+	// watchdog degradations, hung those whose worker is still stuck
+	// inside the compute (forcing table quarantine); skippedN counts
+	// cone nodes retired without executing. failMu guards the key lists
+	// behind the run's *PartialError.
+	retries     atomic.Int64
+	failed      atomic.Int32
+	timedOut    atomic.Int32
+	hung        atomic.Int32
+	skippedN    atomic.Int32
+	failMu      sync.Mutex
+	failedKeys  []Key
+	skippedKeys []Key
+}
+
+// takeBudget consumes one unit of the graph's error budget, reporting
+// whether any remained. budget <= 0 disables degradation entirely.
+func (r *graphRun) takeBudget(budget int) bool {
+	for {
+		c := r.failed.Load()
+		if int(c) >= budget {
+			return false
+		}
+		if r.failed.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// giveBudget refunds a unit whose degrade lost the retire race.
+func (r *graphRun) giveBudget() { r.failed.Add(-1) }
+
+// noteFailed records a permanently failed optional node (timedOut when
+// the watchdog, rather than an exhausted retry budget, retired it).
+func (r *graphRun) noteFailed(k Key, timedOut bool) {
+	if timedOut {
+		r.timedOut.Add(1)
+	}
+	r.failMu.Lock()
+	r.failedKeys = append(r.failedKeys, k)
+	r.failMu.Unlock()
+}
+
+// noteSkipped records one downstream node poisoned by a failed
+// ancestor; the sample list is bounded, the count is not.
+func (r *graphRun) noteSkipped(k Key) {
+	r.skippedN.Add(1)
+	r.failMu.Lock()
+	if len(r.skippedKeys) < StallPendingMax {
+		r.skippedKeys = append(r.skippedKeys, k)
+	}
+	r.failMu.Unlock()
+}
+
+// partialError builds the degraded-completion diagnostic. Safe at
+// finishRun time: every degrade's bookkeeping happens-before its
+// cascade reaches the sink, and the sink's retirement is what triggered
+// this call.
+func (r *graphRun) partialError() *PartialError {
+	r.failMu.Lock()
+	failed := append([]Key(nil), r.failedKeys...)
+	skipped := append([]Key(nil), r.skippedKeys...)
+	r.failMu.Unlock()
+	slices.Sort(failed)
+	slices.Sort(skipped)
+	return &PartialError{
+		GraphID:      r.id,
+		Failed:       failed,
+		Skipped:      skipped,
+		SkippedTotal: int(r.skippedN.Load()),
+	}
 }
 
 // Ticket is a handle to a submitted graph.
@@ -59,9 +136,11 @@ type Ticket struct {
 // graphs, so per-worker activity cannot be attributed to one submission —
 // use Execute for a fully attributed run. Wait may be called any number
 // of times, from any goroutine. On failure the stats are nil and the
-// error is typed: *ComputeError for a recovered panic, ErrCanceled
-// (wrapped) for Cancel/ctx aborts, *StallError for a graph whose sink
-// can never compute.
+// error is typed: *ComputeError for a recovered panic or an exhausted
+// retry budget, ErrCanceled (wrapped) for Cancel/ctx aborts,
+// *TimeoutError for a watchdog kill, *StallError for a graph whose sink
+// can never compute. A degraded completion returns BOTH non-nil stats
+// and a non-nil *PartialError (see Options.ErrorBudget).
 func (t *Ticket) Wait() (*Stats, error) {
 	<-t.r.done
 	return t.r.stats, t.r.err
@@ -219,9 +298,24 @@ func (e *Engine) finishRun(r *graphRun) {
 		NodeBackend:  e.backend,
 		DequeBackend: e.dequeBackend.String(),
 		Topology:     e.opts.Topology,
+		Retries:      r.retries.Load(),
+		TimedOut:     int(r.timedOut.Load()),
+		Skipped:      int(r.skippedN.Load()),
+	}
+	if r.failed.Load() > 0 {
+		r.err = r.partialError()
 	}
 	e.stateMu.Lock()
-	e.tables = append(e.tables, r.nt)
+	if r.hung.Load() > 0 {
+		// A watchdog-degraded node's worker is still stuck inside its
+		// compute, holding pointers into this run's nodes: quarantine
+		// the table like a failed run's (reclaimed at the next
+		// proven-quiet point) instead of pooling it.
+		e.deadTables = append(e.deadTables, r.nt)
+		e.quarantined.Store(int32(len(e.deadTables)))
+	} else {
+		e.tables = append(e.tables, r.nt)
+	}
 	e.removeRunLocked(r)
 	e.stateMu.Unlock()
 	<-e.slots
@@ -284,7 +378,10 @@ func (e *Engine) failStalled() {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
 	if len(e.pending) != 0 || e.closeFlag.Load() ||
-		e.parked.Load() != int32(len(e.workers)) || e.anyWork() {
+		e.parked.Load() != int32(len(e.workers)) || e.anyWork() ||
+		e.retryDue.Load() > 0 || e.retryOut.Load() > 0 {
+		// A due or in-backoff retry is future work: the graph holding it
+		// is not stalled, and the retry's enqueue will wake a worker.
 		return
 	}
 	// The pool is provably quiet, so no worker can be touching a failed

@@ -12,6 +12,7 @@ import (
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/chaos"
 	"nabbitc/internal/core"
 	"nabbitc/internal/numa"
 	"nabbitc/internal/omp"
@@ -57,6 +58,20 @@ type Config struct {
 	// experiments ignore it, so it is deliberately not echoed into the
 	// report envelope.
 	Iterations int
+	// FaultRate overrides the retry experiment's injected-fault
+	// probability when FaultRateSet is true (the CLI's -fault-rate flag;
+	// rate 0 is meaningful — no faults — so presence is explicit). Like
+	// Seed, a non-default value changes the emitted document, so
+	// baselines use the default; the fields are deliberately not echoed
+	// into the report envelope.
+	FaultRate    float64
+	FaultRateSet bool
+	// FaultKinds, when non-empty, overrides the fault kinds the retry
+	// experiment injects (default: transient only).
+	FaultKinds []chaos.Kind
+	// Retries, when positive, overrides the retry experiment's per-node
+	// attempt budget (core.RetryPolicy.MaxAttempts; default 3).
+	Retries int
 	// Format selects the renderer: FormatTable (default), FormatCSV, or
 	// FormatJSON (one perf.Document over the whole run).
 	Format string
@@ -133,6 +148,7 @@ var experiments = []struct {
 	{"submit", submitReport},
 	{"steal", stealReport},
 	{"faults", faultsReport},
+	{"retry", retryReport},
 }
 
 // Experiments lists the runnable experiment names.

@@ -1,0 +1,420 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sync/atomic"
+
+	"nabbitc/internal/chaos"
+	"nabbitc/internal/core"
+	"nabbitc/internal/perf"
+)
+
+// The retry experiment pins the engine's transient-fault recovery into
+// the structured report pipeline, using only deterministic measurements
+// so it can live in the byte-compared sim-kind document:
+//
+//   - retry/census: a seeded chaos.Plan poisons a fixed subset of a cone
+//     forest with transient compute errors (fail twice, then succeed);
+//     with MaxAttempts 3 every graph completes, the sum of Stats.Retries
+//     equals the plan's injected-failure count exactly, the exactly-once
+//     census holds (failed attempts never run the node body), and the
+//     engine stays reusable — at several worker counts.
+//   - retry/degrade: the same forest poisoned with permanent errors on
+//     all-optional nodes under ErrorBudget 1; each poisoned graph must
+//     degrade — Stats AND a *core.PartialError from the same Wait — with
+//     Failed/Skipped exactly the keys the plan predicts (the target, and
+//     its sink when the target is a leaf).
+//   - retry/identity: the fallible path at rate 0 is a scheduling no-op
+//     (1 worker, FNV-1a over the completion sequence, byte-equal to an
+//     uninstrumented engine); healthy graphs interleaved with retrying
+//     ones schedule byte-identically to a clean engine; and a second
+//     pass over a forest whose transients are spent replays every graph
+//     byte-identically — retries leave no residue.
+//
+// The CLI's -fault-rate/-fault-kinds/-retries flags override the seeded
+// defaults through Config (see retryParams); baselines use the defaults.
+const (
+	retrySeed        = 0xDECAF5EED
+	retryRate        = 0.5
+	retryGraphs      = 32
+	retryWidth       = 16
+	retryStride      = retryWidth + 1
+	retryMaxAttempts = 3
+)
+
+// retryParams resolves the experiment's fault parameters against the
+// config's CLI overrides.
+func (c Config) retryParams() (rate float64, kinds []chaos.Kind, attempts int) {
+	rate, kinds, attempts = retryRate, []chaos.Kind{chaos.Transient}, retryMaxAttempts
+	if c.FaultRateSet {
+		rate = c.FaultRate
+	}
+	if len(c.FaultKinds) > 0 {
+		kinds = c.FaultKinds
+	}
+	if c.Retries > 0 {
+		attempts = c.Retries
+	}
+	return
+}
+
+// retryExpect models one graph's outcome under the retry layer: whether
+// it completes, and how many retries its completed run accrues. tf is
+// the injector's transient-failure budget. Kinds outside the fallible
+// pair either never fail (None, Delay, Hang — which merely sleeps here —
+// and Cancel, with no OnCancel hook) or fail without retries (Panic).
+func retryExpect(kind chaos.Kind, attempts, tf int) (completes bool, retries int) {
+	switch kind {
+	case chaos.Error:
+		return false, attempts - 1
+	case chaos.Transient:
+		if attempts > tf {
+			return true, tf
+		}
+		return false, attempts - 1
+	case chaos.Panic:
+		return false, 0
+	default:
+		return true, 0
+	}
+}
+
+// retryCensusTable runs the transiently-poisoned forest at several worker
+// counts and checks completions and the retry ledger against the plan.
+func retryCensusTable(cfg Config) (*perf.Table, error) {
+	rate, kinds, attempts := cfg.retryParams()
+	plan := chaos.NewPlan(retrySeed, rate, kinds...)
+	tf := chaos.DefaultTransientFails
+	expCompleted, expRetries := 0, 0
+	for g := 0; g < retryGraphs; g++ {
+		if ok, rt := retryExpect(plan.Fault(g), attempts, tf); ok {
+			expCompleted++
+			expRetries += rt
+		}
+	}
+	t := perf.NewTable("retry/census",
+		fmt.Sprintf("Retry: %d cone graphs, seeded transient faults at rate %.2g, MaxAttempts %d — recovery census (%d expected retries)",
+			retryGraphs, rate, attempts, expRetries),
+		"workers",
+		perf.M("completed_ok", "", perf.HigherIsBetter),
+		perf.M("failed_compute_error", "", perf.Neutral),
+		perf.M("retries_total", "", perf.Neutral),
+		perf.M("retries_expected", "", perf.Neutral),
+		perf.M("retries_match", "", perf.HigherIsBetter),
+		perf.M("exactly_once", "", perf.HigherIsBetter),
+		perf.M("reusable_after", "", perf.HigherIsBetter))
+	for _, workers := range []int{1, 4, 8} {
+		counts := make([]atomic.Int32, retryGraphs*retryStride)
+		inj := &chaos.Injector{Plan: plan, Stride: retryStride}
+		spec := submitConeSpec(retryGraphs, retryWidth, workers, nil)
+		spec.ComputeErrFn = inj.ComputeErr(func(k core.Key) {
+			counts[int(k)].Add(1)
+		})
+		e, err := core.NewEngine(spec, core.Options{
+			Workers: workers, Policy: cfg.policy(core.NabbitCPolicy()), MaxInflight: 8,
+			Retry: core.RetryPolicy{MaxAttempts: attempts},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tickets := make([]*core.Ticket, retryGraphs)
+		for g := range tickets {
+			tk, err := e.Submit(submitConeSink(g, retryWidth))
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("submit graph %d: %w", g, err)
+			}
+			tickets[g] = tk
+		}
+		completedOK, failedCompute := 0, 0
+		var retriesTotal int64
+		for g, tk := range tickets {
+			st, werr := tk.Wait()
+			var ce *core.ComputeError
+			switch {
+			case werr == nil:
+				completedOK++
+				retriesTotal += st.Retries
+			case errors.As(werr, &ce):
+				failedCompute++
+			default:
+				e.Close()
+				return nil, fmt.Errorf("wait graph %d: unexpected failure %w", g, werr)
+			}
+		}
+		// Failed attempts return before the node body runs, so even
+		// recovered graphs must count every node exactly once.
+		exactlyOnce := 1.0
+		for g := 0; g < retryGraphs; g++ {
+			if ok, _ := retryExpect(plan.Fault(g), attempts, tf); !ok {
+				continue
+			}
+			for k := g * retryStride; k < (g+1)*retryStride; k++ {
+				if counts[k].Load() != 1 {
+					exactlyOnce = 0
+				}
+			}
+		}
+		reusable := 0.0
+		for g := 0; g < retryGraphs; g++ {
+			if plan.Fault(g) == chaos.None {
+				if _, err := e.Execute(submitConeSink(g, retryWidth)); err == nil {
+					reusable = 1.0
+				}
+				break
+			}
+		}
+		e.Close()
+		match := 0.0
+		if completedOK == expCompleted && retriesTotal == int64(expRetries) {
+			match = 1.0
+		}
+		t.AddRow(itoa(workers), map[string]float64{
+			"completed_ok":         float64(completedOK),
+			"failed_compute_error": float64(failedCompute),
+			"retries_total":        float64(retriesTotal),
+			"retries_expected":     float64(expRetries),
+			"retries_match":        match,
+			"exactly_once":         exactlyOnce,
+			"reusable_after":       reusable,
+		})
+	}
+	return t, nil
+}
+
+// retryDegradeTable poisons the forest with permanent errors on
+// all-optional nodes and checks that every poisoned graph degrades into
+// Stats plus a *core.PartialError whose Failed and Skipped keys are
+// exactly what the plan predicts.
+func retryDegradeTable(cfg Config) (*perf.Table, error) {
+	rate, _, attempts := cfg.retryParams()
+	plan := chaos.NewPlan(retrySeed, rate, chaos.Error)
+	faulted := 0
+	for g := 0; g < retryGraphs; g++ {
+		if plan.Fault(g) != chaos.None {
+			faulted++
+		}
+	}
+	t := perf.NewTable("retry/degrade",
+		fmt.Sprintf("Retry: %d cone graphs, %d poisoned with permanent errors, all nodes optional, ErrorBudget 1 — graceful degradation",
+			retryGraphs, faulted),
+		"workers",
+		perf.M("degraded", "", perf.Neutral),
+		perf.M("degraded_expected", "", perf.Neutral),
+		perf.M("completed_clean", "", perf.Neutral),
+		perf.M("failed_keys_match", "", perf.HigherIsBetter),
+		perf.M("skipped_match", "", perf.HigherIsBetter),
+		perf.M("stats_present", "", perf.HigherIsBetter))
+	for _, workers := range []int{1, 4} {
+		inj := &chaos.Injector{Plan: plan, Stride: retryStride}
+		spec := submitConeSpec(retryGraphs, retryWidth, workers, nil)
+		spec.ComputeErrFn = inj.ComputeErr(nil)
+		spec.OptionalFn = func(core.Key) bool { return true }
+		e, err := core.NewEngine(spec, core.Options{
+			Workers: workers, Policy: cfg.policy(core.NabbitCPolicy()), MaxInflight: 8,
+			Retry: core.RetryPolicy{MaxAttempts: attempts}, ErrorBudget: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tickets := make([]*core.Ticket, retryGraphs)
+		for g := range tickets {
+			tk, err := e.Submit(submitConeSink(g, retryWidth))
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("submit graph %d: %w", g, err)
+			}
+			tickets[g] = tk
+		}
+		degraded, clean := 0, 0
+		keysMatch, skippedMatch, statsPresent := 1.0, 1.0, 1.0
+		for g, tk := range tickets {
+			st, werr := tk.Wait()
+			var pe *core.PartialError
+			switch {
+			case werr == nil:
+				clean++
+			case errors.As(werr, &pe):
+				degraded++
+				if st == nil {
+					statsPresent = 0
+					continue
+				}
+				tgt := core.Key(g*retryStride + plan.Target(g, retryStride))
+				if len(pe.Failed) != 1 || pe.Failed[0] != tgt {
+					keysMatch = 0
+				}
+				// A poisoned leaf drags down only the sink above it; a
+				// poisoned sink has no downstream cone at all.
+				var wantSkipped []core.Key
+				if int(tgt)%retryStride != retryWidth {
+					wantSkipped = []core.Key{submitConeSink(g, retryWidth)}
+				}
+				if !slices.Equal(pe.Skipped, wantSkipped) ||
+					pe.SkippedTotal != len(wantSkipped) || st.Skipped != len(wantSkipped) {
+					skippedMatch = 0
+				}
+			default:
+				e.Close()
+				return nil, fmt.Errorf("wait graph %d: unexpected failure %w", g, werr)
+			}
+		}
+		e.Close()
+		t.AddRow(itoa(workers), map[string]float64{
+			"degraded":          float64(degraded),
+			"degraded_expected": float64(faulted),
+			"completed_clean":   float64(clean),
+			"failed_keys_match": keysMatch,
+			"skipped_match":     skippedMatch,
+			"stats_present":     statsPresent,
+		})
+	}
+	return t, nil
+}
+
+// retryScheduleHashes runs the forest sequentially (Submit then Wait, one
+// worker) for the given number of passes on a single engine with the
+// given attempt budget, and returns per-pass maps of completion hash per
+// completed graph. computeErr is the spec's full fallible compute (chaos
+// wrapping included); nil leaves the spec infallible.
+func retryScheduleHashes(cfg Config, computeErr func(core.Key) error, attempts, passes int) ([]map[int]uint64, error) {
+	h := fnv.New64a()
+	var buf [16]byte
+	record := func(w int, k core.Key) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(w) >> (8 * i))
+			buf[8+i] = byte(uint64(k) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	spec := submitConeSpec(retryGraphs, retryWidth, 1, nil)
+	spec.ComputeErrFn = computeErr
+	e, err := core.NewEngine(spec, core.Options{
+		Workers: 1, Policy: cfg.policy(core.NabbitCPolicy()), OnComplete: record,
+		Retry: core.RetryPolicy{MaxAttempts: attempts},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	out := make([]map[int]uint64, passes)
+	for p := range out {
+		m := make(map[int]uint64, retryGraphs)
+		for g := 0; g < retryGraphs; g++ {
+			h.Reset()
+			tk, err := e.Submit(submitConeSink(g, retryWidth))
+			if err != nil {
+				return nil, fmt.Errorf("pass %d submit graph %d: %w", p, g, err)
+			}
+			if _, werr := tk.Wait(); werr == nil {
+				m[g] = h.Sum64()
+			}
+		}
+		out[p] = m
+	}
+	return out, nil
+}
+
+// retryIdentityTable pins the three scheduling-identity claims of the
+// retry layer: the fallible path at rate 0 is invisible, healthy graphs
+// interleaved with retrying ones are undisturbed, and a second pass over
+// spent transients replays the whole forest byte-identically.
+func retryIdentityTable(cfg Config) (*perf.Table, error) {
+	rate, _, attempts := cfg.retryParams()
+	t := perf.NewTable("retry/identity",
+		"Retry (1 worker): rate-0 fallible path is a scheduling no-op, and schedules carry no retry residue",
+		"check",
+		perf.M("graphs_compared", "", perf.Neutral),
+		perf.M("schedules_match", "", perf.HigherIsBetter))
+
+	plainP, err := retryScheduleHashes(cfg, nil, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	plain := plainP[0]
+
+	zeroInj := &chaos.Injector{Plan: chaos.NewPlan(retrySeed, 0), Stride: retryStride}
+	zeroP, err := retryScheduleHashes(cfg, zeroInj.ComputeErr(nil), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	zero := zeroP[0]
+	zeroMatch := 1.0
+	if len(zero) != len(plain) {
+		zeroMatch = 0
+	}
+	for g, hv := range plain {
+		if zero[g] != hv {
+			zeroMatch = 0
+		}
+	}
+	t.AddRow("rate0-noop", map[string]float64{
+		"graphs_compared": float64(len(plain)),
+		"schedules_match": zeroMatch,
+	})
+
+	// One engine absorbs the transient plan twice: pass 1 retries through
+	// the injected failures, pass 2 finds every transient budget spent and
+	// must replay the forest exactly as a clean engine would.
+	plan := chaos.NewPlan(retrySeed, rate, chaos.Transient)
+	inj := &chaos.Injector{Plan: plan, Stride: retryStride}
+	passes, err := retryScheduleHashes(cfg, inj.ComputeErr(nil), attempts, 2)
+	if err != nil {
+		return nil, err
+	}
+	compared, match := 0, 1.0
+	for g := 0; g < retryGraphs; g++ {
+		if plan.Fault(g) != chaos.None {
+			continue
+		}
+		compared++
+		if passes[0][g] != plain[g] {
+			match = 0
+		}
+	}
+	t.AddRow("healthy-amid-retries", map[string]float64{
+		"graphs_compared": float64(compared),
+		"schedules_match": match,
+	})
+
+	compared, match = 0, 1.0
+	for g := 0; g < retryGraphs; g++ {
+		hv, ok := passes[1][g]
+		if !ok {
+			continue
+		}
+		compared++
+		if hv != plain[g] {
+			match = 0
+		}
+	}
+	t.AddRow("post-retry-replay", map[string]float64{
+		"graphs_compared": float64(compared),
+		"schedules_match": match,
+	})
+	return t, nil
+}
+
+// retryReport builds the transient-fault-recovery report.
+func retryReport(cfg Config) (*perf.Report, error) {
+	rep := cfg.newReport("retry")
+	ct, err := retryCensusTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(ct)
+	dt, err := retryDegradeTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(dt)
+	it, err := retryIdentityTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddTable(it)
+	return rep, nil
+}

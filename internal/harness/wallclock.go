@@ -10,6 +10,7 @@ import (
 
 	"nabbitc/internal/bench"
 	"nabbitc/internal/bench/suite"
+	"nabbitc/internal/chaos"
 	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
 	"nabbitc/internal/deque"
@@ -42,6 +43,20 @@ type WallclockConfig struct {
 	// reuse rows (default 8); 0 keeps the default, negative disables the
 	// persist table entirely.
 	Iterations int
+	// FaultRate, when FaultRateSet is true and the rate is positive,
+	// arms chaos injection in the submit-throughput table: each cone
+	// graph is poisoned with this probability and the run reports how
+	// many graphs failed (the -fault-rate flag; see the sim-side retry
+	// experiment for the deterministic face of the same machinery).
+	FaultRate    float64
+	FaultRateSet bool
+	// FaultKinds, when non-empty, overrides the injected fault kinds
+	// (default: transient only).
+	FaultKinds []chaos.Kind
+	// Retries, when positive, sets the per-node attempt budget
+	// (core.RetryPolicy.MaxAttempts) of the fault-injected runs
+	// (default 3).
+	Retries int
 	// now overrides the clock stamp in tests.
 	now func() time.Time
 }
@@ -290,29 +305,57 @@ func wallclockStealTable(cfg WallclockConfig) (*perf.Table, error) {
 // MaxInflight defaults to a small multiple of the worker count.
 func wallclockSubmitTable(cfg WallclockConfig) (*perf.Table, error) {
 	const graphs, width = 1024, 16
-	t := perf.NewTable("wallclock/submit",
-		fmt.Sprintf("Wall clock: Submit/Wait throughput, %d cone graphs (width %d) on %d workers, best of %d runs",
-			graphs, width, cfg.Workers, cfg.Repeats),
-		"max_inflight",
+	faultsOn := cfg.FaultRateSet && cfg.FaultRate > 0
+	metrics := []perf.Metric{
 		perf.M("graphs_per_sec", "1/s", perf.HigherIsBetter),
 		perf.M("p50_us", "us", perf.LowerIsBetter),
 		perf.M("p99_us", "us", perf.LowerIsBetter),
 		perf.M("p99_over_p50", "x", perf.LowerIsBetter),
-		perf.M("wall_ns_min", "ns", perf.LowerIsBetter))
+		perf.M("wall_ns_min", "ns", perf.LowerIsBetter),
+	}
+	caption := fmt.Sprintf("Wall clock: Submit/Wait throughput, %d cone graphs (width %d) on %d workers, best of %d runs",
+		graphs, width, cfg.Workers, cfg.Repeats)
+	var plan *chaos.Plan
+	attempts := cfg.Retries
+	if attempts <= 0 {
+		attempts = 3
+	}
+	if faultsOn {
+		kinds := cfg.FaultKinds
+		if len(kinds) == 0 {
+			kinds = []chaos.Kind{chaos.Transient}
+		}
+		plan = chaos.NewPlan(0xDECAF5EED, cfg.FaultRate, kinds...)
+		metrics = append(metrics,
+			perf.M("failed_graphs", "", perf.LowerIsBetter),
+			perf.M("retries_total", "", perf.Neutral))
+		caption += fmt.Sprintf(", chaos rate %.2g, MaxAttempts %d", cfg.FaultRate, attempts)
+	}
+	t := perf.NewTable("wallclock/submit", caption, "max_inflight", metrics...)
 	pol := cfg.policy(core.NabbitCPolicy())
 	for _, inflight := range []int{1, 8, 32, 128} {
-		spec := submitConeSpec(graphs, width, cfg.Workers, nil)
+		opts := core.Options{Workers: cfg.Workers, Policy: pol, MaxInflight: inflight}
+		if faultsOn {
+			opts.Retry = core.RetryPolicy{MaxAttempts: attempts}
+		}
 		var wallMin int64
 		var lat []time.Duration
+		var failedBest, retriesBest int64
 		for rep := 0; rep < cfg.Repeats; rep++ {
-			e, err := core.NewEngine(spec, core.Options{
-				Workers: cfg.Workers, Policy: pol, MaxInflight: inflight,
-			})
+			spec := submitConeSpec(graphs, width, cfg.Workers, nil)
+			if faultsOn {
+				// A fresh injector per repeat resets the transient
+				// attempt counters, so every repeat faults identically.
+				inj := &chaos.Injector{Plan: plan, Stride: width + 1}
+				spec.ComputeErrFn = inj.ComputeErr(nil)
+			}
+			e, err := core.NewEngine(spec, opts)
 			if err != nil {
 				return nil, err
 			}
 			repLat := make([]time.Duration, graphs)
 			errs := make([]error, graphs)
+			stats := make([]*core.Stats, graphs)
 			var wg sync.WaitGroup
 			start := time.Now()
 			for g := 0; g < graphs; g++ {
@@ -325,20 +368,28 @@ func wallclockSubmitTable(cfg WallclockConfig) (*perf.Table, error) {
 						errs[g] = err
 						return
 					}
-					_, errs[g] = tk.Wait()
+					stats[g], errs[g] = tk.Wait()
 					repLat[g] = time.Since(t0)
 				}(g)
 			}
 			wg.Wait()
 			wall := time.Since(start).Nanoseconds()
 			e.Close()
+			var failed, retries int64
 			for g, err := range errs {
 				if err != nil {
-					return nil, fmt.Errorf("wallclock submit inflight=%d graph %d: %w", inflight, g, err)
+					if !faultsOn {
+						return nil, fmt.Errorf("wallclock submit inflight=%d graph %d: %w", inflight, g, err)
+					}
+					failed++
+				}
+				if st := stats[g]; st != nil {
+					retries += st.Retries
 				}
 			}
 			if rep == 0 || wall < wallMin {
 				wallMin, lat = wall, repLat
+				failedBest, retriesBest = failed, retries
 			}
 		}
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -348,13 +399,18 @@ func wallclockSubmitTable(cfg WallclockConfig) (*perf.Table, error) {
 		if p50 > 0 {
 			ratio = p99 / p50
 		}
-		t.AddRow(itoa(inflight), map[string]float64{
+		row := map[string]float64{
 			"graphs_per_sec": float64(graphs) / (float64(wallMin) / 1e9),
 			"p50_us":         p50,
 			"p99_us":         p99,
 			"p99_over_p50":   ratio,
 			"wall_ns_min":    float64(wallMin),
-		})
+		}
+		if faultsOn {
+			row["failed_graphs"] = float64(failedBest)
+			row["retries_total"] = float64(retriesBest)
+		}
+		t.AddRow(itoa(inflight), row)
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"nabbitc/internal/colorset"
 	"nabbitc/internal/core"
@@ -325,6 +326,7 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 		}
 	}
 
+	var last int64 // latest event time processed, the partial makespan
 	for !e.done {
 		ev, ok := e.evq.pop()
 		if !ok {
@@ -332,8 +334,19 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 			// no event to make progress. Report the same typed stall
 			// diagnostic as the real engine, naming the nodes that were
 			// created but never computed (a cycle's members and their
-			// downstream).
+			// downstream) — or, under SkipUnreachable, degrade exactly
+			// as core's error-budget path does: return the partial
+			// Result together with a *core.PartialError naming the
+			// never-computed nodes as skipped.
 			pend := e.pendingKeys()
+			if e.opts.SkipUnreachable {
+				pe := &core.PartialError{SkippedTotal: len(pend)}
+				if len(pend) > core.StallPendingMax {
+					pend = pend[:core.StallPendingMax]
+				}
+				pe.Skipped = pend
+				return e.result(last), pe
+			}
 			se := &core.StallError{Sink: sink, PendingTotal: len(pend)}
 			if len(pend) > core.StallPendingMax {
 				pend = pend[:core.StallPendingMax]
@@ -341,6 +354,13 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 			se.Pending = pend
 			return nil, se
 		}
+		if dl := e.opts.Deadline; dl > 0 && ev.at > dl {
+			// The run's virtual-time budget is spent before this event
+			// fires: the watchdog mirror. Limit carries the budget's
+			// integer value (virtual cycles).
+			return nil, &core.TimeoutError{Limit: time.Duration(dl)}
+		}
+		last = ev.at
 		w := e.workers[ev.wid]
 		switch ev.kind {
 		case evComplete:
@@ -349,20 +369,26 @@ func Run(spec core.CostSpec, sink core.Key, opts Options) (*Result, error) {
 			e.stealAttempt(w, ev.at)
 		}
 	}
+	return e.result(e.makespan), nil
+}
 
+// result gathers the per-worker counters into a Result with the given
+// makespan (the sink's completion time, or the last processed event
+// time for a degraded run).
+func (e *engine) result(makespan int64) *Result {
 	res := &Result{
-		Makespan:     e.makespan,
+		Makespan:     makespan,
 		Workers:      make([]WorkerStats, len(e.workers)),
 		NodesCreated: e.created,
-		Topology:     opts.Topology,
+		Topology:     e.opts.Topology,
 	}
 	for i, w := range e.workers {
 		if !w.startedWork {
-			w.stats.TimeToFirstWork = e.makespan
+			w.stats.TimeToFirstWork = makespan
 		}
 		res.Workers[i] = w.stats
 	}
-	return res, nil
+	return res
 }
 
 // pendingKeys lists created-but-never-computed nodes, sorted — the

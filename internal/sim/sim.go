@@ -42,6 +42,20 @@ type Options struct {
 	// (pinned by a property test) — only the storage the deterministic
 	// machine mirrors.
 	NodeTable core.NodeTableBackend
+	// Deadline, when positive, bounds the run's virtual time: the run
+	// fails with a *core.TimeoutError as soon as an event would fire
+	// past the budget — the simulator's mirror of core's
+	// Options.RunDeadline. The error's Limit carries the budget's
+	// integer value (virtual cycles, not nanoseconds).
+	Deadline int64
+	// SkipUnreachable, when set, converts a dependence deadlock (event
+	// queue drained with the sink never computed — a cycle or an
+	// unsatisfiable predecessor) into a degraded completion: the partial
+	// Result is returned together with a *core.PartialError listing the
+	// never-computed nodes as skipped — the simulator's mirror of core's
+	// graceful degradation. When unset such a run fails with a
+	// *core.StallError, as before.
+	SkipUnreachable bool
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -66,6 +80,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Policy.Deque < core.DequeAuto || o.Policy.Deque > core.DequeBlock {
 		return o, fmt.Errorf("sim: unknown deque backend %v", o.Policy.Deque)
+	}
+	if o.Deadline < 0 {
+		return o, fmt.Errorf("sim: negative Deadline %d", o.Deadline)
 	}
 	o.Policy = policyWithDefaults(o.Policy)
 	return o, nil
