@@ -1,0 +1,135 @@
+// Command nabbitvet runs the repo's custom static-analysis suite
+// (internal/analysis): atomicbits, noalloc, nodeterminism, and
+// lockdiscipline — the compile-time enforcement of the engine's
+// concurrency, allocation, and determinism invariants.
+//
+// Standalone (the full suite, whole-program):
+//
+//	go run ./cmd/nabbitvet ./...
+//	go run ./cmd/nabbitvet -run 'atomicbits|noalloc' ./internal/core
+//
+// As a go vet tool (per-package analyzers only; noalloc needs the
+// whole-program view and is skipped):
+//
+//	go build -o /tmp/nabbitvet ./cmd/nabbitvet
+//	go vet -vettool=/tmp/nabbitvet ./...
+//
+// Exit status: 0 clean, 1 findings or usage error (standalone), 2
+// findings (vet-tool protocol, matching unitchecker).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+
+	"nabbitc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// selfHash content-hashes the running binary for the -V=full buildID.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func run(args []string) int {
+	// cmd/go's vet-tool handshake: -V=full must print a version line
+	// ending in a buildID= field (cmd/go caches vet results keyed on it —
+	// a content hash of the tool binary makes edits invalidate the cache),
+	// and -flags must report the tool's flag set (nabbitvet forwards none)
+	// as JSON.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("nabbitvet version devel buildID=%s\n", selfHash())
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	// A single *.cfg argument is a vet-tool unit invocation.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return analysis.RunUnitchecker(args[0], analysis.All())
+	}
+
+	fs := flag.NewFlagSet("nabbitvet", flag.ContinueOnError)
+	runRe := fs.String("run", "", "run only analyzers matching this regexp")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory to run the go tool in (module root)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nabbitvet [-run regexp] [-list] [-C dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers := analysis.All()
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nabbitvet: bad -run regexp: %v\n", err)
+			return 1
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "nabbitvet: no analyzers selected")
+		return 1
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nabbitvet: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nabbitvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// x/tools/go/analysis.Analyzer so the suite can be ported onto the real
+// framework mechanically if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description printed by nabbitvet -list.
+	Doc string
+	// Run performs the check on one package, reporting findings through
+	// pass.Report. It returns an error only for operational failures
+	// (a finding is never an error).
+	Run func(pass *Pass) error
+	// NeedsProgram marks analyzers that require the whole-program view
+	// (pass.Prog fully loaded, escape facts available). These cannot run
+	// under the per-package unitchecker protocol and are skipped there.
+	NeedsProgram bool
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Prog is the whole loaded program, or nil under the unitchecker
+	// protocol (where only the single package's source is available).
+	Prog *Program
+	// dirs holds the package's parsed //nabbit: directives.
+	dirs *directiveIndex
+	// report receives diagnostics.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// DirectivePrefix introduces every nabbitvet source directive, in the
+// standard Go directive comment form (no space after //).
+const DirectivePrefix = "//nabbit:"
+
+// A Directive is one parsed //nabbit:name arg arg... comment.
+type Directive struct {
+	Pos  token.Position
+	Name string   // e.g. "noalloc", "bitfield"
+	Args []string // whitespace-separated remainder
+}
+
+// directiveIndex is every directive in a package, plus a by-line map for
+// escape-hatch lookups.
+type directiveIndex struct {
+	all []Directive
+	// byLine maps file name → line → directive names on that line.
+	byLine map[string]map[int][]string
+}
+
+// parseDirectives scans every comment in files for //nabbit: directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, DirectivePrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx.all = append(idx.all, Directive{Pos: pos, Name: fields[0], Args: fields[1:]})
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return idx
+}
+
+// Directives returns every //nabbit: directive in the package, in file
+// order.
+func (p *Pass) Directives() []Directive {
+	return p.dirs.all
+}
+
+// Escaped reports whether the finding at pos is suppressed by the named
+// escape directive on the same line or the line immediately above it —
+// the contract every //nabbit:*-ok escape follows.
+func (p *Pass) Escaped(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	lines := p.dirs.byLine[position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{position.Line, position.Line - 1} {
+		for _, n := range lines[ln] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcDirective returns the directive with the given name attached to the
+// function declaration's doc comment, or on the line immediately above
+// the declaration, if any.
+func funcDirective(fset *token.FileSet, dirs *directiveIndex, decl *ast.FuncDecl, name string) (Directive, bool) {
+	start := fset.Position(decl.Pos())
+	if decl.Doc != nil {
+		start = fset.Position(decl.Doc.Pos())
+	}
+	end := fset.Position(decl.Pos())
+	lines := dirs.byLine[start.Filename]
+	if lines == nil {
+		return Directive{}, false
+	}
+	for _, d := range dirs.all {
+		if d.Name != name || d.Pos.Filename != start.Filename {
+			continue
+		}
+		if d.Pos.Line >= start.Line-1 && d.Pos.Line <= end.Line {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// RunAnalyzers applies each analyzer to every package of prog, returning
+// all findings sorted by position. Analyzer operational errors abort the
+// run.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Prog:     prog,
+				dirs:     pkg.dirs,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full nabbitvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Atomicbits, Noalloc, Nodeterminism, Lockdiscipline}
+}

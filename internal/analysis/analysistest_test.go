@@ -1,0 +1,109 @@
+package analysis
+
+// A minimal analysistest: each golden package under testdata/src seeds
+// deliberate violations and pins the expected findings with
+//
+//	code // want `regexp`
+//
+// comments (backquoted, one or more per line). Running an analyzer over
+// the package must produce exactly the pinned findings: an unmatched
+// diagnostic fails, and so does a want with no diagnostic. The testdata
+// directory is invisible to ./... patterns, so the seeded violations
+// never reach the repo-wide nabbitvet run — but the files must still
+// compile (the loader builds export data) and stay gofmt-clean.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package's directory; the
+// go tool runs there so testdata package patterns resolve.
+const repoRoot = "../.."
+
+// A wantDiag is one expected diagnostic: a pattern that must match a
+// finding reported on its exact file and line.
+type wantDiag struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+// parseWants scans a golden package directory for // want comments.
+func parseWants(t *testing.T, dir string) []*wantDiag {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("globbing %s: %v (found %d files)", dir, err, len(paths))
+	}
+	var wants []*wantDiag
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want `")
+			if !ok {
+				continue
+			}
+			ms := wantPattern.FindAllStringSubmatch("`"+rest, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: // want comment with no backquoted pattern", path, i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &wantDiag{file: filepath.Base(path), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads one testdata package, runs the analyzer under test,
+// and checks the findings against the package's want comments.
+func runGolden(t *testing.T, pkg string, analyzers ...*Analyzer) {
+	t.Helper()
+	prog, err := Load(repoRoot, "./internal/analysis/testdata/src/"+pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	diags, err := RunAnalyzers(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkg, err)
+	}
+	wants := parseWants(t, filepath.Join(repoRoot, "internal", "analysis", "testdata", "src", pkg))
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) &&
+				w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestAtomicbitsGolden(t *testing.T)     { runGolden(t, "atomicbits_bad", Atomicbits) }
+func TestNoallocGolden(t *testing.T)        { runGolden(t, "noalloc_bad", Noalloc) }
+func TestNodeterminismGolden(t *testing.T)  { runGolden(t, "nodeterminism_bad", Nodeterminism) }
+func TestLockdisciplineGolden(t *testing.T) { runGolden(t, "lockdiscipline_bad", Lockdiscipline) }

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// An allocSite is one compiler-proven heap allocation: a `-gcflags=-m`
+// diagnostic of the "escapes to heap" or "moved to heap" family,
+// resolved to an absolute file position.
+type allocSite struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// escapeFacts is the per-Program cache of allocation sites, keyed by
+// absolute file path.
+type escapeFacts struct {
+	sites map[string][]allocSite
+}
+
+// escapeAnalysis runs the compiler's escape analysis over the program's
+// root packages and parses the allocation sites out of its -m output.
+// The output is replayed from the build cache on repeat runs, so this
+// costs one real compile per source change.
+func (p *Program) escapeAnalysis() (*escapeFacts, error) {
+	p.escOnce.Do(func() {
+		p.escFacts, p.escErr = runEscapeAnalysis(p)
+	})
+	return p.escFacts, p.escErr
+}
+
+func runEscapeAnalysis(p *Program) (*escapeFacts, error) {
+	args := []string{"build", "-gcflags=-m=1"}
+	for _, pkg := range p.Packages {
+		// A package with only test files (e.g. a module root holding the
+		// repo-level benchmarks) has nothing to compile and would fail the
+		// whole build invocation.
+		if len(pkg.GoFiles) == 0 {
+			continue
+		}
+		args = append(args, pkg.ImportPath)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = p.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// -m diagnostics go to stderr even on success; a failed exit means
+		// the build itself broke.
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	facts := &escapeFacts{sites: make(map[string][]allocSite)}
+	for _, line := range strings.Split(out.String(), "\n") {
+		site, ok := parseEscapeLine(p.Dir, line)
+		if !ok {
+			continue
+		}
+		facts.sites[site.File] = append(facts.sites[site.File], site)
+	}
+	return facts, nil
+}
+
+// parseEscapeLine extracts an allocation site from one -m output line.
+// Only the diagnostics that prove a heap allocation count: "... escapes
+// to heap" (heap-allocated value or interface boxing) and "moved to
+// heap: x" (a stack variable forced to the heap). Inlining notes,
+// "does not escape", and "leaking param" lines are not allocations.
+func parseEscapeLine(dir, line string) (allocSite, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return allocSite{}, false
+	}
+	// path:line:col: msg
+	rest := line
+	var parts [3]string
+	for i := 0; i < 3; i++ {
+		idx := strings.Index(rest, ":")
+		if idx < 0 {
+			return allocSite{}, false
+		}
+		parts[i] = rest[:idx]
+		rest = rest[idx+1:]
+	}
+	msg := strings.TrimSpace(rest)
+	if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+		return allocSite{}, false
+	}
+	// A string constant boxed into an interface ("...literal..." escapes to
+	// heap) is panic-argument or call-argument boxing: the literal's bytes
+	// live in rodata and the box either feeds a panic (a path that dies) or
+	// a callee outside the program whose own allocations -m cannot see
+	// regardless. Inlining attributes these to every caller's line, which
+	// would demand an escape comment per call site of any function that can
+	// panic; skip them instead.
+	if strings.HasPrefix(msg, `"`) &&
+		strings.HasSuffix(strings.TrimSuffix(msg, " escapes to heap"), `"`) {
+		return allocSite{}, false
+	}
+	lineNo, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return allocSite{}, false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(dir, file)
+	}
+	return allocSite{File: file, Line: lineNo, Col: col, Msg: msg}, true
+}

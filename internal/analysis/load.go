@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked root package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, non-test files only
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	dirs       *directiveIndex
+}
+
+// A Program is a load of one or more root packages plus the export data
+// of everything they import, sharing one FileSet and one importer (so a
+// dependency is parsed from export data once, not per root).
+type Program struct {
+	Fset     *token.FileSet
+	Dir      string // directory the go tool ran in
+	Packages []*Package
+	byPath   map[string]*Package
+
+	// escOnce guards the lazily computed escape-analysis facts shared by
+	// every noalloc pass over this program (see escape.go).
+	escOnce  sync.Once
+	escFacts *escapeFacts
+	escErr   error
+
+	// The noalloc analyzer is whole-program: it runs once per Program and
+	// the first pass that reaches it reports every finding (see noalloc.go).
+	noallocOnce     sync.Once
+	noallocDiags    []noallocFinding
+	noallocErr      error
+	noallocReported bool
+}
+
+// PackageByPath returns the loaded root package with the given import
+// path, if any.
+func (p *Program) PackageByPath(path string) (*Package, bool) {
+	pkg, ok := p.byPath[path]
+	return pkg, ok
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go tool in dir and decodes its JSON package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Standard,Export,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported, through the stdlib gc importer.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exportFile map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.gc.Import(path)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return ei.gc.ImportFrom(path, dir, mode)
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// with the go tool running in dir (the module root, or any directory
+// inside the module). Test files are not loaded; the suite analyzes
+// shipped code only.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exportFile := make(map[string]string)
+	var roots []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			roots = append(roots, lp)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("go list: no packages matched %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exportFile)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	prog := &Program{Fset: fset, Dir: abs, byPath: make(map[string]*Package)}
+
+	for _, lp := range roots {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		abspaths := make([]string, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", path, err)
+			}
+			files = append(files, f)
+			abspaths = append(abspaths, path)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    sizes,
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			GoFiles:    abspaths,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			dirs:       parseDirectives(fset, files),
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+	return prog, nil
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nodeterminism guards the simulator's byte-identical-schedule guarantee:
+// the paper's locality claims are validated against deterministic virtual-
+// time replays, and that property silently dies the day wall clocks,
+// random numbers, map-iteration order, or goroutine interleavings leak
+// into a deterministic package.
+//
+// A package opts in by carrying a file-level
+//
+//	//nabbit:deterministic
+//
+// directive in any of its files (by convention, next to the package
+// clause of the package's main file). In an opted-in package the
+// analyzer forbids:
+//
+//   - wall-clock reads and timers: time.Now, time.Since, time.Until,
+//     time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+//     time.AfterFunc;
+//   - any use of math/rand or math/rand/v2 (package xrand's seeded
+//     generators are the sanctioned source of randomness);
+//   - ranging over a map (iteration order is randomized by the runtime);
+//   - spawning goroutines (scheduling order is nondeterministic).
+//
+// //nabbit:nondeterministic-ok on the offending line (or the line above)
+// escapes a deliberate exception.
+var Nodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid wall clocks, math/rand, map iteration, and goroutine spawns " +
+		"in //nabbit:deterministic packages",
+	Run: runNodeterminism,
+}
+
+// nondeterministicTimeFuncs are the time package entry points that read
+// the wall clock or arm real-time timers.
+var nondeterministicTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+const ndEscape = "nondeterministic-ok"
+
+func runNodeterminism(pass *Pass) error {
+	optedIn := false
+	for _, d := range pass.Directives() {
+		if d.Name == "deterministic" {
+			optedIn = true
+			break
+		}
+	}
+	if !optedIn {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		// Imports of the randomness packages are flagged once, at the
+		// import, so a stray helper can't smuggle the package in unused.
+		for _, imp := range f.Imports {
+			path := importPathOf(imp)
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.Escaped(imp.Pos(), ndEscape) {
+					pass.Reportf(imp.Pos(), "deterministic package imports %s; use the seeded internal/xrand generators instead (//nabbit:nondeterministic-ok to override)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObject(pass, n); obj != nil {
+					if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" && nondeterministicTimeFuncs[obj.Name()] {
+						if !pass.Escaped(n.Pos(), ndEscape) {
+							pass.Reportf(n.Pos(), "deterministic package calls time.%s; derive timing from virtual cycles instead (//nabbit:nondeterministic-ok to override)", obj.Name())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						if !pass.Escaped(n.Pos(), ndEscape) {
+							pass.Reportf(n.Pos(), "deterministic package ranges over a map; iteration order is randomized — iterate sorted keys instead (//nabbit:nondeterministic-ok to override)")
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if !pass.Escaped(n.Pos(), ndEscape) {
+					pass.Reportf(n.Pos(), "deterministic package spawns a goroutine; scheduling order is nondeterministic (//nabbit:nondeterministic-ok to override)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPathOf(imp *ast.ImportSpec) string {
+	path := imp.Path.Value
+	if len(path) >= 2 {
+		return path[1 : len(path)-1]
+	}
+	return path
+}
+
+// calleeObject resolves a call's static callee, looking through package
+// qualifiers and method selectors.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}

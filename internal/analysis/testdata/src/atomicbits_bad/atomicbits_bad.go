@@ -1,0 +1,62 @@
+// Package atomicbits_bad seeds deliberate bitfield-layout violations
+// for the atomicbits analyzer's golden test. Every finding here is
+// expected and pinned by a // want comment; the package never ships —
+// the testdata directory is invisible to ./... patterns.
+package atomicbits_bad
+
+import "sync/atomic"
+
+// Overlapping fields: lo and hi both claim bit 4. The analyzer reports
+// at the const keyword and stops checking the block.
+//
+//nabbit:bitfield word=w1 width=32 layout=lo:0-4,hi:4-8
+const ( // want `bitfield w1: field hi bits 4-8 overlap another declared field`
+	w1LoMask = 0x1f
+)
+
+// One block with a wrong mask value, a constant matching no declared
+// field, and a declared field no constant witnesses.
+//
+//nabbit:bitfield word=w2 width=32 layout=phase:0-1,busy:2,seq:3-31
+const ( // want `bitfield w2: declared field seq \(bits 3-31\) has no Mask/Bit/Shift/Unit/Inc/Max constant`
+	w2PhaseMask = 0x7 // want `w2PhaseMask = 0x7 does not equal field phase's bits 0-1`
+	w2BusyBit   = 1 << 2
+	w2CountMax  = 15 // want `constant w2CountMax matches no declared field in layout`
+)
+
+// A correct layout for the tracked word below; the violations are in
+// how the functions manipulate it.
+//
+//nabbit:bitfield word=state width=64 layout=mode:0-3,epoch:4-63
+const (
+	stateModeMask   = 0xf
+	stateEpochShift = 4
+	stateEpochUnit  = 1 << stateEpochShift
+)
+
+// box carries the tracked word; any function selecting box.state is
+// policed for raw literals.
+type box struct {
+	state atomic.Uint64
+}
+
+// setModeRaw feeds a raw literal into the word's atomic mutator.
+func (b *box) setModeRaw() {
+	b.state.Store(0x3) // want `raw literal mask 0x3 on a declared bit word`
+}
+
+// maskEpochRaw uses a raw literal as a bitwise operand on the word.
+func (b *box) maskEpochRaw() uint64 {
+	return b.state.Load() & 0x30 // want `raw literal mask 0x30 on a declared bit word`
+}
+
+// shiftEpochRaw uses a raw literal shift amount in a bitwise expression.
+func (b *box) shiftEpochRaw() uint64 {
+	return b.state.Load() & (1 << 4) // want `raw literal shift amount 4 on a declared bit word`
+}
+
+// setModeEscaped is the same raw Store with the sanctioned escape; no
+// finding may be reported.
+func (b *box) setModeEscaped() {
+	b.state.Store(0x3) //nabbit:rawmask-ok seeded witness that the escape suppresses the finding
+}

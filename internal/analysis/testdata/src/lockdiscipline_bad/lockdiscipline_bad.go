@@ -1,0 +1,70 @@
+// Package lockdiscipline_bad seeds held-lock blocking operations and
+// mixed atomic/plain field access for the lockdiscipline analyzer's
+// golden test.
+package lockdiscipline_bad
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Queue matches the engine-side deque interface by type name, so its
+// Push/Pop/Steal methods count as work-stealing deque calls.
+type Queue struct{ items []int }
+
+// PushBottom is a deque-shaped method.
+func (q *Queue) PushBottom(v int) { q.items = append(q.items, v) }
+
+// shard is a lock-protected owner of a queue and a channel.
+type shard struct {
+	mu sync.Mutex
+	q  Queue
+	ch chan int
+}
+
+// SendHeld sends on a channel while holding the shard lock.
+func (s *shard) SendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// SleepDeferred sleeps while a deferred unlock still holds the lock.
+func (s *shard) SleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+}
+
+// PushHeld calls into the deque under the lock.
+func (s *shard) PushHeld(v int) {
+	s.mu.Lock()
+	s.q.PushBottom(v) // want `work-stealing deque call while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// RecvEscaped is a held-lock receive with the sanctioned escape; no
+// finding may be reported.
+func (s *shard) RecvEscaped() int {
+	s.mu.Lock()
+	v := <-s.ch //nabbit:lockheld-ok seeded witness that the escape suppresses the finding
+	s.mu.Unlock()
+	return v
+}
+
+// counter mixes sync/atomic function access and a plain read on one
+// field.
+type counter struct {
+	n int64
+}
+
+// Inc uses the atomic function API on the field.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read loads the same field plainly.
+func (c *counter) Read() int64 {
+	return c.n // want `plain access to field n, which is also accessed with sync/atomic operations`
+}

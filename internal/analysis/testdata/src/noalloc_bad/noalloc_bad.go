@@ -1,0 +1,61 @@
+// Package noalloc_bad seeds compiler-provable heap allocations on
+// //nabbit:noalloc paths for the noalloc analyzer's golden test. The
+// allocating helpers are //go:noinline so the escape sites stay
+// attributed to these lines instead of being smeared to caller lines by
+// inlining.
+package noalloc_bad
+
+// The sinks keep the allocations observable so escape analysis cannot
+// eliminate them. They are typed (not any) so no extra interface-boxing
+// site appears on the seeded lines.
+var (
+	sinkPtr   *[64]int
+	sinkSlice []int
+)
+
+// allocate is the in-callee violation: Hot reaches it statically.
+//
+//go:noinline
+func allocate() *[64]int {
+	buf := new([64]int) // want `heap allocation on //nabbit:noalloc path Hot \(in allocate, called from it\)`
+	return buf
+}
+
+// Hot is the annotated fast path; the allocation inside allocate is
+// attributed to it through the static call graph.
+//
+//nabbit:noalloc
+func Hot() {
+	sinkPtr = allocate()
+}
+
+// HotDirect allocates in the annotated function itself.
+//
+//nabbit:noalloc
+func HotDirect() {
+	sinkSlice = make([]int, 8) // want `heap allocation on //nabbit:noalloc path HotDirect: make\(\[\]int, 8\) escapes to heap`
+}
+
+// HotEscaped carries the same allocation with the line escape; no
+// finding may be reported.
+//
+//nabbit:noalloc
+func HotEscaped() {
+	sinkSlice = make([]int, 8) //nabbit:alloc-ok seeded witness that the line escape suppresses the finding
+}
+
+// coldAllocate is a declared cold path: a barrier the traversal neither
+// reports nor descends into.
+//
+//nabbit:alloc-ok seeded cold-path barrier
+//go:noinline
+func coldAllocate() *[64]int {
+	return new([64]int)
+}
+
+// HotBarrier reaches an allocation only through the barrier; clean.
+//
+//nabbit:noalloc
+func HotBarrier() {
+	sinkPtr = coldAllocate()
+}

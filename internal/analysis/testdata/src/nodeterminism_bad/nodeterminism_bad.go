@@ -1,0 +1,41 @@
+// Package nodeterminism_bad seeds wall-clock reads, randomness imports,
+// map iteration, and goroutine spawns for the nodeterminism analyzer's
+// golden test.
+//
+//nabbit:deterministic
+package nodeterminism_bad
+
+import (
+	_ "math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+// Clock reads the wall clock.
+func Clock() time.Time {
+	return time.Now() // want `deterministic package calls time\.Now`
+}
+
+// Keys ranges over a map.
+func Keys(m map[int]int) int {
+	total := 0
+	for k := range m { // want `deterministic package ranges over a map`
+		total += k
+	}
+	return total
+}
+
+// Spawn starts a goroutine.
+func Spawn(fn func()) {
+	go fn() // want `deterministic package spawns a goroutine`
+}
+
+// KeysEscaped is the same map range with the sanctioned escape; no
+// finding may be reported.
+func KeysEscaped(m map[int]int) int {
+	total := 0
+	//nabbit:nondeterministic-ok seeded witness that the escape suppresses the finding
+	for k := range m {
+		total += k
+	}
+	return total
+}

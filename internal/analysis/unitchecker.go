@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// This file implements the cmd/go vet-tool protocol (the same contract
+// x/tools/go/analysis/unitchecker speaks), so nabbitvet can run as
+//
+//	go vet -vettool=$(which nabbitvet) ./...
+//
+// cmd/go invokes the tool once per package with a JSON config file
+// argument (*.cfg) describing the package's sources and the export data
+// of its dependencies. The tool must type-check the package itself,
+// write its facts file (VetxOutput — nabbitvet has no cross-package
+// facts, so the file is written empty), print findings to stderr, and
+// exit 2 when it found something.
+//
+// Whole-program analyzers (Analyzer.NeedsProgram, i.e. noalloc) cannot
+// run under this per-package protocol and are skipped; the standalone
+// `nabbitvet ./...` mode runs the full suite.
+
+// vetConfig mirrors the JSON written by cmd/go for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes one vet-tool invocation against cfgPath and
+// returns the process exit code (0 clean, 2 findings, 1 operational
+// error, matching unitchecker's convention). Findings go to stderr.
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer) int {
+	code, err := runUnitchecker(cfgPath, analyzers, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nabbitvet: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func runUnitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The facts file must exist for cmd/go to cache, findings or not.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	prog, err := loadFromVetConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+	perPackage := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if !a.NeedsProgram {
+			perPackage = append(perPackage, a)
+		}
+	}
+	diags, err := RunAnalyzers(prog, perPackage)
+	if err != nil {
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// loadFromVetConfig parses and type-checks the single package described
+// by a vet config, resolving imports through the export files cmd/go
+// listed.
+func loadFromVetConfig(cfg *vetConfig) (*Program, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		dirs:       parseDirectives(fset, files),
+	}
+	return &Program{
+		Fset:     fset,
+		Dir:      cfg.Dir,
+		Packages: []*Package{pkg},
+		byPath:   map[string]*Package{cfg.ImportPath: pkg},
+	}, nil
+}

@@ -61,7 +61,7 @@ func New(n int) Set {
 	if n <= InlineColors {
 		return Set{n: n}
 	}
-	return Set{ext: make([]uint64, wordsFor(n)), n: n}
+	return Set{ext: make([]uint64, wordsFor(n)), n: n} //nabbit:alloc-ok spill storage, only beyond InlineColors
 }
 
 // Of returns a set with capacity n containing the given colors.
@@ -90,13 +90,14 @@ func (s Set) InlineWords() (lo, hi uint64, ok bool) {
 // check panics if c is outside [0, s.n).
 func (s Set) check(c int) {
 	if c < 0 || c >= s.n {
+		//nabbit:alloc-ok panic-only formatting
 		panic(fmt.Sprintf("colorset: color %d out of range [0,%d)", c, s.n))
 	}
 }
 
 // Add inserts color c.
 func (s *Set) Add(c int) {
-	s.check(c)
+	s.check(c) //nabbit:alloc-ok check's panic-only formatting, attributed here when inlined
 	if s.ext == nil {
 		if c < wordBits {
 			s.lo |= 1 << uint(c)
@@ -192,6 +193,7 @@ func (s *Set) Clear() {
 
 func (s Set) sameCap(o Set) {
 	if s.n != o.n {
+		//nabbit:alloc-ok panic-only formatting
 		panic(fmt.Sprintf("colorset: capacity mismatch %d vs %d", s.n, o.n))
 	}
 }
@@ -224,7 +226,7 @@ func (s *Set) IntersectWith(o Set) {
 
 // Intersects reports whether s and o share at least one color.
 func (s Set) Intersects(o Set) bool {
-	s.sameCap(o)
+	s.sameCap(o) //nabbit:alloc-ok sameCap's panic-only formatting, attributed here when inlined
 	if s.ext == nil {
 		return s.lo&o.lo|s.hi&o.hi != 0
 	}

@@ -398,12 +398,16 @@ func (e *Engine) execute(ctx context.Context, sink Key) (*Stats, error) {
 		return nil, ErrClosed
 	}
 	if ctx == nil {
-		e.slots <- struct{}{} // Execute admission always blocks
+		// Execute admission always blocks. Holding e.mu across the slot
+		// send (and the run wait below) is the exclusivity contract:
+		// concurrent Execute/Close serialize on e.mu while Submit traffic
+		// proceeds under stateMu.
+		e.slots <- struct{}{} //nabbit:lockheld-ok Execute holds e.mu by design
 	} else {
 		if err := ctx.Err(); err != nil {
 			return nil, cancelErr(0, err)
 		}
-		select {
+		select { //nabbit:lockheld-ok ctx-aware admission under the same contract
 		case e.slots <- struct{}{}:
 		case <-ctx.Done():
 			return nil, cancelErr(0, ctx.Err())
@@ -436,7 +440,9 @@ func (e *Engine) execute(ctx context.Context, sink Key) (*Stats, error) {
 	if ctx != nil {
 		go e.watchCtx(ctx, r)
 	}
-	<-r.done
+	// The run wait keeps e.mu held: Execute is exclusive-occupancy, and
+	// workers never take e.mu, so the hold cannot deadlock the run.
+	<-r.done //nabbit:lockheld-ok Execute holds e.mu by design
 
 	// A failed run has no per-worker stats to gather, and waiting for
 	// quiescence here could block on a canceled graph's still-in-flight
@@ -519,7 +525,9 @@ func (e *Engine) Close() error {
 		if i < 256 {
 			runtime.Gosched()
 		} else {
-			time.Sleep(10 * time.Microsecond)
+			// The drain sleep holds only e.mu (stateMu is released each
+			// sweep), and e.mu is the Close/Execute exclusivity lock.
+			time.Sleep(10 * time.Microsecond) //nabbit:lockheld-ok Close holds e.mu by design
 		}
 	}
 	e.closeFlag.Store(true)
@@ -741,6 +749,8 @@ func (w *worker) markStarted(r *graphRun) {
 // right here, which is how a dead run's work drains out of every deque
 // — the item already carries its *graphRun, so no new synchronization
 // and no queue surgery.
+//
+//nabbit:noalloc
 func (w *worker) exec(it item) {
 	w.spins = 0
 	r := it.run
@@ -759,6 +769,8 @@ func (w *worker) exec(it item) {
 // goroutine survives: recover unwinds the item's spawn cascade, failRun
 // marks the run dead, and every other deque item of the graph is
 // discarded at its own exec boundary.
+//
+//nabbit:alloc-ok runs only when a Compute panicked; the graph is already dead
 func (w *worker) rescue(r *graphRun) {
 	v := recover()
 	if v == nil {
@@ -784,12 +796,14 @@ func (w *worker) rescue(r *graphRun) {
 // binary-splitting hot path produces, the mask is the group's own color —
 // O(1), no group rescan, and with the inline colorset representation no
 // allocation.
+//
+//nabbit:noalloc
 func (w *worker) push(r *graphRun, it item) {
 	it.run = r
 	nw := len(w.e.workers)
 	var cs colorset.Set
 	if it.groups == nil {
-		cs = colorset.New(nw)
+		cs = colorset.New(nw) //nabbit:alloc-ok colorset spill, only beyond InlineColors workers
 		if c := it.single.color; c >= 0 && c < nw {
 			cs.Add(c)
 		}
@@ -803,6 +817,8 @@ func (w *worker) push(r *graphRun, it item) {
 // the half of the color groups containing this worker's color, leaving
 // the other half stealable; spawn_nodes then binary-splits the single
 // remaining color group the same way, finally executing one leaf.
+//
+//nabbit:noalloc
 func (w *worker) runItem(r *graphRun, it item) {
 	if it.size() == 0 {
 		return
@@ -831,6 +847,8 @@ func (w *worker) runItem(r *graphRun, it item) {
 
 // runGroup binary-splits a single color group, pushing inline single-group
 // continuations (no allocation), and resolves the final leaf.
+//
+//nabbit:noalloc
 func (w *worker) runGroup(r *graphRun, owner *Node, g group) {
 	if owner != nil {
 		keys := g.keys
@@ -855,6 +873,8 @@ func (w *worker) runGroup(r *graphRun, owner *Node, g group) {
 // predecessor and process it, or enqueue owner on the existing
 // predecessor's successor list, or — if the predecessor has already
 // computed — account it directly, possibly making owner ready.
+//
+//nabbit:noalloc
 func (w *worker) tryInitCompute(r *graphRun, owner *Node, pkey Key) {
 	w.curKey = pkey
 	pred, created := r.nt.getOrCreate(pkey)
@@ -883,6 +903,8 @@ func (w *worker) tryInitCompute(r *graphRun, owner *Node, pkey Key) {
 // initAndCompute processes a freshly created node: compute it immediately
 // if it has no predecessors, otherwise spawn its predecessors grouped by
 // color.
+//
+//nabbit:noalloc
 func (w *worker) initAndCompute(r *graphRun, n *Node) {
 	if len(n.preds) == 0 {
 		w.computeAndNotify(r, n)
@@ -895,6 +917,8 @@ func (w *worker) initAndCompute(r *graphRun, n *Node) {
 
 // computeAndNotify executes a ready node, then notifies its successors,
 // spawning any that became ready (grouped by color).
+//
+//nabbit:noalloc
 func (w *worker) computeAndNotify(r *graphRun, n *Node) {
 	w.curKey = n.key
 	e := w.e

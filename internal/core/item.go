@@ -70,7 +70,7 @@ func (it item) size() int {
 // (and with an invalid coloring, Table III, every mask stays empty — all
 // colored steals miss, as intended).
 func colorsOf(groups []group, nworkers int) colorset.Set {
-	s := colorset.New(nworkers)
+	s := colorset.New(nworkers) //nabbit:alloc-ok colorset spill, only beyond InlineColors workers
 	for _, g := range groups {
 		if g.color >= 0 && g.color < nworkers {
 			s.Add(g.color)
@@ -182,6 +182,8 @@ func (g *grouper) offsets() int {
 // — or only one color occurs — everything lands in a single inline group
 // aliasing the input keys (preds are immutable, so aliasing is free), and
 // the call allocates nothing.
+//
+//nabbit:alloc-ok emitted group slices escape into deque items by contract; bounded by the ExecuteReuse gate
 func (w *worker) groupKeys(owner *Node, keys []Key) item {
 	spec := w.e.spec
 	if !w.e.opts.Policy.Colored || len(keys) <= 1 {
@@ -222,6 +224,8 @@ func colorOrZero(spec Spec, keys []Key) int {
 // appearance order, and returns the successor-work item. The input may be
 // the worker's reusable ready scratch, so unlike groupKeys the output
 // never aliases it: nodes are always copied into a fresh backing array.
+//
+//nabbit:alloc-ok emitted group slices escape into deque items by contract; bounded by the ExecuteReuse gate
 func (w *worker) groupNodes(nodes []*Node) item {
 	if !w.e.opts.Policy.Colored || len(nodes) <= 1 {
 		c := 0

@@ -49,6 +49,13 @@ const (
 // run every lifecycle transition preserves the stamp, so markComputed and
 // addSuccessor never need to know the current epoch. Map-backed nodes are
 // freshly allocated per run and keep stamp 0 forever.
+//
+// The directive below is machine-checked: nabbitvet's atomicbits
+// analyzer proves these constants carve exactly the declared bit
+// ranges, disjointly, and that no code manipulates the word with raw
+// literal masks. Change the layout and the directive together.
+//
+//nabbit:bitfield word=state width=32 layout=phase:0-1,attempt:2-4,skip:5,epoch:6-30,succlock:31
 const (
 	phaseMask    uint32 = 0b11
 	attemptShift        = 2
@@ -121,6 +128,8 @@ func (n *Node) Computed() bool { return nodePhase(n.state.Load()) == nodeCompute
 // lockSuccs acquires the successor-list claim bit and returns the state
 // word as it was without the bit (i.e. the value to store to unlock
 // without a phase change).
+//
+//nabbit:noalloc
 func (n *Node) lockSuccs() uint32 {
 	// The holder is mid-append or mid-drain — a handful of instructions —
 	// so a short tight retry loop wins over yielding; the Gosched
@@ -140,6 +149,8 @@ func (n *Node) lockSuccs() uint32 {
 // account one of s's predecessors. It returns false — and appends nothing —
 // if n has already computed, in which case the caller must account the
 // predecessor itself.
+//
+//nabbit:noalloc
 func (n *Node) addSuccessor(s *Node) bool {
 	v := n.lockSuccs()
 	if nodePhase(v) == nodeComputed {
@@ -156,6 +167,8 @@ func (n *Node) addSuccessor(s *Node) bool {
 // one atomic store (which also releases the claim bit), so addSuccessor
 // refuses new entries from that instant on and every successor is notified
 // exactly once.
+//
+//nabbit:noalloc
 func (n *Node) markComputed() []*Node {
 	v := n.lockSuccs()
 	succs := n.succs
@@ -180,6 +193,8 @@ func (n *Node) markComputed() []*Node {
 // calls this, but the word itself sees concurrent traffic: the CAS must
 // not land while succLockBit is held, because the holder's unlock store
 // writes back its captured pre-lock value and would erase the bump.
+//
+//nabbit:noalloc
 func (n *Node) bumpAttempt() int {
 	for spins := 0; ; spins++ {
 		v := n.state.Load()
@@ -203,6 +218,8 @@ func (n *Node) bumpAttempt() int {
 // transitions are otherwise safe — the computed store clears the bit,
 // and a node both tainted and ready is routed to the skip path at the
 // compute entry point.
+//
+//nabbit:noalloc
 func (n *Node) setSkip() {
 	for spins := 0; ; spins++ {
 		v := n.state.Load()
@@ -224,6 +241,8 @@ func (n *Node) setSkip() {
 // notification, exactly like markComputed. ok=false reports that a
 // racing normal completion already computed the node, in which case
 // nothing was changed and the caller owes no notifications.
+//
+//nabbit:noalloc
 func (n *Node) claimSkip() (succs []*Node, ok bool) {
 	v := n.lockSuccs()
 	if nodePhase(v) == nodeComputed {
@@ -238,6 +257,8 @@ func (n *Node) claimSkip() (succs []*Node, ok bool) {
 
 // decJoin accounts one predecessor and reports whether the node became
 // ready (join reached zero).
+//
+//nabbit:noalloc
 func (n *Node) decJoin() bool {
 	v := n.join.Add(-1)
 	if v < 0 {
@@ -507,8 +528,11 @@ func newNodeArena(spec Spec, bound, workers int) *nodeArena {
 // lookup) take the phase-load fast path. Unlike the sharded map, a lookup
 // costs one array index and one atomic load — no hashing, no lock — and
 // creation allocates nothing.
+//
+//nabbit:noalloc
 func (a *nodeArena) getOrCreate(k Key) (*Node, bool) {
 	if k < 0 || int64(k) >= int64(len(a.index)) {
+		//nabbit:alloc-ok panic-only formatting
 		panic(fmt.Sprintf("core: key %d outside the spec's declared bound %d", k, len(a.index)))
 	}
 	n := &a.nodes[a.index[k]]

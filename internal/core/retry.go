@@ -36,6 +36,8 @@ type retryEntry struct {
 // worker owns: re-arm and schedule a retry while attempts remain,
 // degrade if the node is optional and the graph has error budget, fail
 // the run otherwise.
+//
+//nabbit:alloc-ok failure path: retry arming and error construction may allocate
 func (w *worker) computeFailed(r *graphRun, n *Node, cerr error) {
 	e := w.e
 	if n.state.Load()&nodeSkipBit != 0 {
@@ -200,6 +202,8 @@ func (e *Engine) notifySkipped(r *graphRun, n *Node, succs []*Node) bool {
 // skipReady retires a node that arrived at the compute entry point
 // tainted: it is accounted skipped and its cone poisoned, exactly as if
 // the cascade had caught it before readiness.
+//
+//nabbit:alloc-ok degraded-completion path: skip bookkeeping may allocate
 func (w *worker) skipReady(r *graphRun, n *Node) {
 	if succs, ok := n.claimSkip(); ok {
 		r.noteSkipped(n.key)

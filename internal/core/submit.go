@@ -287,6 +287,8 @@ func (e *Engine) checkoutTableLocked() nodeTable {
 // pool immediately. If a concurrent Cancel/ctx expiry won the
 // completion CAS first, that winner owns the cleanup and the computed
 // result is discarded.
+//
+//nabbit:alloc-ok once-per-graph epilogue: the Stats snapshot allocates
 func (e *Engine) finishRun(r *graphRun) {
 	if !r.state.CompareAndSwap(runLive, runDone) {
 		return
@@ -410,7 +412,9 @@ func (e *Engine) failStalled() {
 		// straight back to the pool.
 		e.tables = append(e.tables, r.nt)
 		e.active.Add(-1)
-		<-e.slots
+		// Non-blocking by construction: the failing run still holds its
+		// admission slot, so the channel cannot be empty here.
+		<-e.slots //nabbit:lockheld-ok guaranteed-full slot release
 		close(r.done)
 	}
 	for i := len(keep); i < len(e.runs); i++ {

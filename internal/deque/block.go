@@ -18,10 +18,16 @@ const BlockSize = blockSize
 
 // Packing of a block's index word (ss): the steal index lives in the low
 // 16 bits, the seal flag in bit 16, and the block's incarnation epoch in
-// the bits above bkEpochInc. Everything a claim must validate — which
-// incarnation of the block it is stealing from, whether the owner holds
-// it unsealed, and how far thieves have advanced — is one word, so one
-// CAS both claims items and revalidates all of it.
+// bits 24..63 (bits 17..23 are reserved headroom — bkEpoch masks them
+// out, so nothing may ever set them). Everything a claim must validate —
+// which incarnation of the block it is stealing from, whether the owner
+// holds it unsealed, and how far thieves have advanced — is one word, so
+// one CAS both claims items and revalidates all of it.
+//
+// The directive below is machine-checked by nabbitvet's atomicbits
+// analyzer; change the packing and the directive together.
+//
+//nabbit:bitfield word=ss width=64 layout=steal:0-15,seal:16,epoch:24-63
 const (
 	bkStealMask = (1 << 16) - 1
 	bkSealBit   = 1 << 16
@@ -207,6 +213,8 @@ func (d *Block[T]) StealCASes() int64 { return d.stealCASes.Load() }
 // PushBottom adds an item at the bottom (owner only). Steady-state pushes
 // allocate nothing: a full tail block is sealed and a fresh block comes
 // from the free list or from recycling drained head blocks.
+//
+//nabbit:noalloc
 func (d *Block[T]) PushBottom(e Entry[T]) {
 	blk := d.active
 	c := blk.commit.Load()
@@ -245,6 +253,8 @@ func (d *Block[T]) advance(blk *bkBlock[T]) *bkBlock[T] {
 // getBlock produces an empty block: free list first, then recycling
 // drained blocks at the head of the chain, then allocation (counted by
 // Grows — absent in steady state when the capacity hint was honest).
+//
+//nabbit:alloc-ok fresh blocks only when the free list is empty, counted by Grows()
 func (d *Block[T]) getBlock() *bkBlock[T] {
 	if n := len(d.free); n > 0 {
 		b := d.free[n-1]
@@ -317,6 +327,8 @@ func (d *Block[T]) resetBlock(b *bkBlock[T]) {
 // PopBottom removes the newest item (owner only): the Chase–Lev dance on
 // the tail block, moving back into the newest sealed block (unsealing
 // it) whenever the tail is exhausted.
+//
+//nabbit:noalloc
 func (d *Block[T]) PopBottom() (Entry[T], bool) {
 	var zero Entry[T]
 	for {
@@ -454,6 +466,8 @@ func (d *Block[T]) firstLive() (*bkBlock[T], uint64, int64) {
 }
 
 // StealTop removes the oldest item (any worker).
+//
+//nabbit:noalloc
 func (d *Block[T]) StealTop() (Entry[T], StealOutcome) {
 	blk, w, _ := d.firstLive()
 	if blk == nil {
@@ -466,6 +480,8 @@ func (d *Block[T]) StealTop() (Entry[T], StealOutcome) {
 // StealTopColored removes the oldest item only if its color mask contains
 // color. The block summary rejects whole blocks in O(1); the slot shadow
 // is the exact gate on the top item.
+//
+//nabbit:noalloc
 func (d *Block[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 	var zero Entry[T]
 	blk, w, _ := d.firstLive()
@@ -485,6 +501,8 @@ func (d *Block[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 
 // StealTopMasked removes the oldest item only if its color mask
 // intersects mask.
+//
+//nabbit:noalloc
 func (d *Block[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome) {
 	var zero Entry[T]
 	blk, w, _ := d.firstLive()

@@ -107,6 +107,8 @@ func NewChaseLev[T any](capacityHint int) *ChaseLev[T] {
 
 // PushBottom adds an item at the bottom (owner only). Steady-state pushes
 // (no grow) allocate nothing for color sets up to colorset.InlineColors.
+//
+//nabbit:noalloc
 func (d *ChaseLev[T]) PushBottom(e Entry[T]) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -138,6 +140,8 @@ func (d *ChaseLev[T]) SetWake(fn func()) { d.wake = fn }
 // of a buffer (only copied), reader counts are per-buffer memory the
 // owner's future pushes to the new buffer never contend with, and any
 // claim is still serialized through the shared top counter.
+//
+//nabbit:alloc-ok amortized growth path; fresh buffers are counted by Grows()
 func (d *ChaseLev[T]) grow(buf *clBuffer[T], t, b int64) *clBuffer[T] {
 	nb := newCLBuffer[T](log2(buf.size()) + 1)
 	for i := t; i < b; i++ {
@@ -161,6 +165,8 @@ func log2(n int64) uint {
 }
 
 // PopBottom removes the newest item (owner only).
+//
+//nabbit:noalloc
 func (d *ChaseLev[T]) PopBottom() (Entry[T], bool) {
 	var zero Entry[T]
 	b := d.bottom.Load() - 1
@@ -216,6 +222,8 @@ func (d *ChaseLev[T]) claim(s *clSlot[T], t int64) (Entry[T], StealOutcome) {
 }
 
 // StealTop removes the oldest item (any worker).
+//
+//nabbit:noalloc
 func (d *ChaseLev[T]) StealTop() (Entry[T], StealOutcome) {
 	t := d.top.Load()
 	b := d.bottom.Load()
@@ -229,6 +237,8 @@ func (d *ChaseLev[T]) StealTop() (Entry[T], StealOutcome) {
 
 // StealTopColored removes the oldest item only if its color mask contains
 // color.
+//
+//nabbit:noalloc
 func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 	var zero Entry[T]
 	t := d.top.Load()
@@ -252,6 +262,8 @@ func (d *ChaseLev[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 
 // StealTopMasked removes the oldest item only if its color mask intersects
 // mask.
+//
+//nabbit:noalloc
 func (d *ChaseLev[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome) {
 	var zero Entry[T]
 	t := d.top.Load()

@@ -26,6 +26,7 @@ func NewMutex[T any](capacity int) *Mutex[T] {
 	return &Mutex[T]{buf: make([]Entry[T], capacity)}
 }
 
+//nabbit:alloc-ok amortized growth path, counted by Grows()
 func (d *Mutex[T]) grow() {
 	// The full ring wraps at most once: move it as two bulk copies rather
 	// than a per-element modulo loop.
@@ -38,10 +39,12 @@ func (d *Mutex[T]) grow() {
 }
 
 // PushBottom adds an item at the bottom (newest end).
+//
+//nabbit:noalloc
 func (d *Mutex[T]) PushBottom(e Entry[T]) {
 	d.mu.Lock()
 	if d.n == len(d.buf) {
-		d.grow()
+		d.grow() //nabbit:alloc-ok inlined amortized growth
 	}
 	d.buf[(d.head+d.n)%len(d.buf)] = e
 	d.n++
@@ -57,6 +60,8 @@ func (d *Mutex[T]) PushBottom(e Entry[T]) {
 func (d *Mutex[T]) SetWake(fn func()) { d.wake = fn }
 
 // PopBottom removes the newest item.
+//
+//nabbit:noalloc
 func (d *Mutex[T]) PopBottom() (Entry[T], bool) {
 	d.mu.Lock()
 	if d.n == 0 {
@@ -73,6 +78,8 @@ func (d *Mutex[T]) PopBottom() (Entry[T], bool) {
 }
 
 // StealTop removes the oldest item.
+//
+//nabbit:noalloc
 func (d *Mutex[T]) StealTop() (Entry[T], StealOutcome) {
 	d.mu.Lock()
 	if d.n == 0 {
@@ -90,6 +97,8 @@ func (d *Mutex[T]) StealTop() (Entry[T], StealOutcome) {
 
 // StealTopColored removes the oldest item only if its color set contains
 // color; otherwise it reports StealMiss and leaves the deque unchanged.
+//
+//nabbit:noalloc
 func (d *Mutex[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 	d.mu.Lock()
 	var zero Entry[T]
@@ -111,6 +120,8 @@ func (d *Mutex[T]) StealTopColored(color int) (Entry[T], StealOutcome) {
 
 // StealTopMasked removes the oldest item only if its color set intersects
 // mask; otherwise it reports StealMiss and leaves the deque unchanged.
+//
+//nabbit:noalloc
 func (d *Mutex[T]) StealTopMasked(mask colorset.Set) (Entry[T], StealOutcome) {
 	d.mu.Lock()
 	var zero Entry[T]

@@ -38,7 +38,7 @@ func (s *colorShadow) set(c colorset.Set) {
 			s.big.Store(nil)
 		}
 	} else {
-		big := c // boxed copy escapes; only for >InlineColors capacities
+		big := c //nabbit:alloc-ok boxed spill copy, only for >InlineColors capacities
 		s.big.Store(&big)
 	}
 }

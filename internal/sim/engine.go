@@ -404,6 +404,10 @@ func (e *engine) pendingKeys() []core.Key {
 			}
 		}
 	} else {
+		// Iteration order doesn't reach the result: keys are sorted below,
+		// and this runs only on the post-drain failure path (no scheduling
+		// decision depends on it).
+		//nabbit:nondeterministic-ok
 		for k, n := range e.nodes {
 			if !n.computed {
 				keys = append(keys, k)

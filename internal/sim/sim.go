@@ -12,6 +12,15 @@
 // reproducible for a given seed. The scheduler logic — morphing
 // continuations, colored steals, the forced first colored steal — mirrors
 // core's engine decision for decision.
+//
+// The directive below opts the whole package into nabbitvet's
+// nodeterminism analyzer: wall clocks, math/rand, map iteration, and
+// goroutine spawns are compile-time errors here, because any of them
+// would silently break the byte-identical-schedule guarantee the
+// checked-in baseline (and the paper's locality claims) are validated
+// against.
+//
+//nabbit:deterministic
 package sim
 
 import (

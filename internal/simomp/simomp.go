@@ -10,6 +10,12 @@
 // schedule); the simulator charges local or remote byte costs depending on
 // which worker executes it, and tallies the same node-level locality
 // metric as the task-graph engines.
+//
+// The directive below opts the package into nabbitvet's nodeterminism
+// analyzer (see internal/sim): its virtual-time results feed the same
+// byte-identical baseline.
+//
+//nabbit:deterministic
 package simomp
 
 import (

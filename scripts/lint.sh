@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's consolidated static-analysis gate.
+#
+# Usage: scripts/lint.sh
+#
+# Runs, in order, hard-failing on the first problem:
+#
+#   1. gofmt -s     formatting (including testdata golden packages)
+#   2. go vet       the stock vet suite
+#   3. staticcheck  if installed (CI pins and installs it; a local run
+#                   without the binary prints a notice and moves on, so
+#                   the script works offline)
+#   4. nabbitvet    the repo's own analyzer suite (internal/analysis):
+#                   standalone whole-program mode for all four analyzers
+#                   (atomicbits, noalloc, nodeterminism, lockdiscipline),
+#                   then vet-tool mode, which also covers _test.go files
+#                   with the per-package analyzers.
+#
+# Set LINT_INSTALL_STATICCHECK=1 to have the script install the pinned
+# staticcheck itself (what CI does); the pin lives here so upgrades are
+# one deliberate edit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION=2025.1.1
+
+echo "== gofmt -s"
+out="$(gofmt -s -l .)"
+if [ -n "$out" ]; then
+  echo "gofmt -s needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== staticcheck"
+if [ "${LINT_INSTALL_STATICCHECK:-0}" = "1" ] && ! command -v staticcheck >/dev/null 2>&1; then
+  go install "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}"
+fi
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+else
+  echo "staticcheck not installed; skipping (set LINT_INSTALL_STATICCHECK=1 to install @${STATICCHECK_VERSION})"
+fi
+
+echo "== nabbitvet (standalone, whole-program)"
+go run ./cmd/nabbitvet ./...
+
+echo "== nabbitvet (go vet -vettool, includes test files)"
+tool="$(mktemp -d)/nabbitvet"
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+go build -o "$tool" ./cmd/nabbitvet
+go vet -vettool="$tool" ./...
+
+echo "lint: clean"
